@@ -1,0 +1,115 @@
+// mkclip generates a synthetic video clip, encodes it with the MPEG-style
+// codec, and writes the ALF packet stream to a file. With -decode it reads
+// such a file back, verifies it decodes, and optionally dumps the last
+// frame as a PGM image.
+//
+// Usage:
+//
+//	mkclip -o clip.alf -frames 60 -w 160 -h 112 -q 3
+//	mkclip -decode clip.alf -pgm last.pgm
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"scout/internal/mpeg"
+)
+
+func main() {
+	out := flag.String("o", "clip.alf", "output packet-stream file")
+	frames := flag.Int("frames", 60, "frames to generate")
+	width := flag.Int("w", 160, "width (multiple of 16)")
+	height := flag.Int("h", 112, "height (multiple of 16)")
+	qscale := flag.Int("q", 3, "quantiser scale 1..31")
+	gop := flag.Int("gop", 15, "I-frame period")
+	detail := flag.Float64("detail", 0.5, "scene texture 0..1")
+	motion := flag.Float64("motion", 1.0, "scene pan speed px/frame")
+	decode := flag.String("decode", "", "decode a packet-stream file instead of encoding")
+	pgm := flag.String("pgm", "", "with -decode: write the last frame's luma as PGM")
+	flag.Parse()
+
+	if *decode != "" {
+		doDecode(*decode, *pgm)
+		return
+	}
+
+	enc, err := mpeg.NewEncoder(mpeg.EncoderConfig{
+		W: *width, H: *height, GOP: *gop, QScale: *qscale, SearchRange: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scene := mpeg.NewScene(mpeg.SceneConfig{
+		W: *width, H: *height, Detail: *detail, Motion: *motion, Objects: 2, Seed: 7,
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	var packets, bytes int
+	for i := 0; i < *frames; i++ {
+		pkts, kind := enc.Encode(scene.Frame(i))
+		var frameBytes int
+		for _, p := range pkts {
+			b := p.Marshal()
+			var lenHdr [4]byte
+			binary.BigEndian.PutUint32(lenHdr[:], uint32(len(b)))
+			if _, err := f.Write(lenHdr[:]); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := f.Write(b); err != nil {
+				log.Fatal(err)
+			}
+			packets++
+			frameBytes += len(b)
+		}
+		bytes += frameBytes
+		fmt.Printf("frame %3d (%c): %2d packets, %5d bytes\n", i, kind, len(pkts), frameBytes)
+	}
+	fmt.Printf("\nwrote %s: %d frames, %d packets, %d bytes (%.1f kbit/frame avg)\n",
+		*out, *frames, packets, bytes, float64(bytes)*8/1000/float64(*frames))
+}
+
+func doDecode(path, pgmOut string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec := mpeg.NewDecoder()
+	var last *mpeg.Frame
+	off := 0
+	for off+4 <= len(data) {
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		off += 4
+		if off+n > len(data) {
+			log.Fatal("truncated packet stream")
+		}
+		f, err := dec.DecodePacket(data[off : off+n])
+		if err != nil {
+			log.Fatalf("decode: %v", err)
+		}
+		if f != nil {
+			last = f
+		}
+		off += n
+	}
+	w, h := dec.Size()
+	fmt.Printf("decoded %d frames (%dx%d), %d packets, %d incomplete\n",
+		dec.FramesOut, w, h, dec.PacketsIn, dec.Incomplete)
+	if pgmOut != "" && last != nil {
+		out, err := os.Create(pgmOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		fmt.Fprintf(out, "P5\n%d %d\n255\n", last.W, last.H)
+		out.Write(last.Y)
+		fmt.Printf("wrote %s\n", pgmOut)
+	}
+}

@@ -1,0 +1,83 @@
+// mpegbench regenerates the paper's evaluation: every table and in-text
+// experiment, printed next to the published numbers. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for the recorded results.
+//
+// Usage:
+//
+//	mpegbench                  # run everything
+//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp
+//	mpegbench -edf-full        # EDF experiment at full clip lengths
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scout/internal/exp"
+)
+
+func main() {
+	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp")
+	edfFull := flag.Bool("edf-full", false, "run the EDF experiment at full clip lengths (1345/1758 frames)")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(name string, fn func()) {
+		if *which != "all" && *which != name {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Fprintf(w, "(%s took %v wall-clock)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("micro", func() {
+		k, err := exp.NewMicroKernel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := exp.MeasureFootprint(k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exp.PrintFootprint(w, f)
+		fmt.Fprintln(w, "(run `go test -bench='BenchmarkE1|BenchmarkE2' .` for the")
+		fmt.Fprintln(w, " wall-clock path-creation and demux microbenchmarks)")
+	})
+
+	run("table1", func() {
+		exp.PrintTable1(w, exp.RunTable1(nil))
+	})
+
+	run("table2", func() {
+		exp.PrintTable2(w, exp.RunTable2())
+	})
+
+	run("edf", func() {
+		cfg := exp.EDFConfig{NeptuneFrames: 400, CanyonFrames: 600}
+		if *edfFull {
+			cfg = exp.EDFConfig{}
+		}
+		rows := exp.RunEDF(cfg, []string{"edf", "rr"}, []int{16, 64, 128, 256, 512})
+		exp.PrintEDF(w, rows)
+	})
+
+	run("admission", func() {
+		exp.PrintAdmission(w, exp.RunAdmission(400))
+	})
+
+	run("queues", func() {
+		exp.PrintQueueSizing(w, exp.RunQueueSizing(nil, nil))
+	})
+
+	run("ilp", func() {
+		on := exp.RunILP(true, 100)
+		off := exp.RunILP(false, 100)
+		fmt.Fprintf(w, "§4.1 ILP transformation (UDP checksum fused into MPEG read):\n")
+		fmt.Fprintf(w, "per-packet path CPU: %v without, %v with → %v saved\n", off, on, off-on)
+	})
+}

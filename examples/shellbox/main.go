@@ -1,0 +1,76 @@
+// shellbox: drive the SHELL router over the network (§4.1). A remote host
+// sends text commands to the appliance's UDP shell port; each mpeg command
+// maps into a pathCreate on the DISPLAY router, exactly as the paper
+// describes, and the reply names the created path and the UDP port the
+// video source should send to. The video then plays over the new path.
+//
+// Run: go run ./examples/shellbox
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"scout/internal/appliance"
+	"scout/internal/host"
+	"scout/internal/mpeg"
+	"scout/internal/netdev"
+	"scout/internal/proto/inet"
+	"scout/internal/sim"
+)
+
+func main() {
+	eng := sim.New(1)
+	link := netdev.NewLink(eng, netdev.LinkConfig{BitsPerSec: 10_000_000, Delay: 100 * time.Microsecond})
+	k, err := appliance.Boot(eng, link, appliance.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := host.New(link, netdev.MAC{2, 0, 0, 0, 0, 0xaa}, inet.IP(10, 0, 0, 42))
+
+	shellPort := uint16(k.Cfg.ShellPort)
+	send := func(cmd string) string {
+		var reply string
+		h.Command(k.Cfg.Addr, shellPort, 6200, cmd, func(r string) { reply = r })
+		eng.RunFor(200 * time.Millisecond)
+		fmt.Printf("shell> %-28s → %s\n", cmd, reply)
+		return reply
+	}
+
+	// Ask SHELL to set up a 30-frame video path; the source will send
+	// from our port 7000.
+	reply := send("mpeg 7000 30 30 edf 0 32")
+	fields := strings.Fields(reply)
+	if len(fields) != 3 || fields[0] != "OK" {
+		log.Fatalf("unexpected shell reply %q", reply)
+	}
+	pid := fields[1]
+	videoPort, _ := strconv.Atoi(fields[2])
+
+	// Stream a clip to the port SHELL told us about (cost-model decode).
+	clip := mpeg.ClipSpec{
+		Name: "ShellDemo", Frames: 30, W: 160, H: 112, FPS: 30, GOP: 6,
+		AvgPBits: 20000, Jitter: 0.2,
+		Scene: mpeg.SceneConfig{W: 160, H: 112, Detail: 0.4, Motion: 1, Objects: 1, Seed: 3},
+	}
+	src, err := host.NewSource(h, host.SourceConfig{Clip: clip, SrcPort: 7000, CostOnly: true, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	src.Start(k.Cfg.Addr, uint16(videoPort))
+	eng.RunFor(3 * time.Second)
+
+	send("stat " + pid)
+
+	// Inspect the created path before tearing it down.
+	for _, p := range k.Shell.Paths() {
+		sink := k.Display.Sink(p, "DISPLAY")
+		fmt.Printf("path #%d: displayed %d frames, missed %d, CPU %v\n",
+			p.PID, sink.Displayed(), sink.Missed(), p.CPUTime())
+	}
+	send("stop " + pid)
+	fmt.Printf("paths remaining: %d\n", len(k.Shell.Paths()))
+}

@@ -1,0 +1,3 @@
+module scout
+
+go 1.24

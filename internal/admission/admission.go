@@ -1,0 +1,161 @@
+// Package admission implements §4.4 of the paper. Paths make admission
+// control possible because both resources are accounted per path: memory is
+// charged against a grant fixed before path creation starts, and CPU demand
+// is predicted from a model fit online from measured path execution times —
+// "there is a good correlation between the average size of a frame (in
+// bits) and the average amount of CPU time it takes to decode a frame",
+// with the model parameters derived from the running system rather than
+// determined manually.
+package admission
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Model is an online least-squares fit of decode CPU time against frame
+// size in bits.
+type Model struct {
+	n                     float64
+	sx, sy, sxx, sxy, syy float64
+}
+
+// Observe folds one (frame bits, decode CPU) measurement into the fit.
+func (m *Model) Observe(bits float64, cpu time.Duration) {
+	y := float64(cpu)
+	m.n++
+	m.sx += bits
+	m.sy += y
+	m.sxx += bits * bits
+	m.sxy += bits * y
+	m.syy += y * y
+}
+
+// N reports the number of observations.
+func (m *Model) N() int { return int(m.n) }
+
+// Slope reports nanoseconds of CPU per bit.
+func (m *Model) Slope() float64 {
+	d := m.n*m.sxx - m.sx*m.sx
+	if d == 0 {
+		return 0
+	}
+	return (m.n*m.sxy - m.sx*m.sy) / d
+}
+
+// Intercept reports the fixed per-frame CPU in nanoseconds.
+func (m *Model) Intercept() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return (m.sy - m.Slope()*m.sx) / m.n
+}
+
+// R2 reports the squared correlation coefficient of the fit.
+func (m *Model) R2() float64 {
+	dx := m.n*m.sxx - m.sx*m.sx
+	dy := m.n*m.syy - m.sy*m.sy
+	if dx <= 0 || dy <= 0 {
+		return 0
+	}
+	cov := m.n*m.sxy - m.sx*m.sy
+	return cov * cov / (dx * dy)
+}
+
+// Predict estimates the CPU time to decode a frame of the given size.
+func (m *Model) Predict(bits float64) time.Duration {
+	return time.Duration(m.Intercept() + m.Slope()*bits)
+}
+
+// Errors returned by the controller.
+var (
+	ErrCPU = errors.New("admission: CPU budget exhausted")
+	ErrMem = errors.New("admission: memory budget exhausted")
+)
+
+// Grant is an admitted reservation.
+type Grant struct {
+	CPU float64 // fraction of the CPU
+	Mem int64   // bytes
+}
+
+// Controller tracks commitments against fixed budgets.
+type Controller struct {
+	// CPUBudget is the admissible CPU utilization (e.g. 0.9).
+	CPUBudget float64
+	// MemBudget is the admissible path memory in bytes.
+	MemBudget int64
+	// Model predicts per-frame decode cost.
+	Model *Model
+
+	cpuUsed float64
+	memUsed int64
+	grants  map[int64]Grant
+	nextID  int64
+}
+
+// NewController returns a controller with the given budgets.
+func NewController(cpuBudget float64, memBudget int64) *Controller {
+	return &Controller{
+		CPUBudget: cpuBudget,
+		MemBudget: memBudget,
+		Model:     &Model{},
+		grants:    make(map[int64]Grant),
+	}
+}
+
+// AdmitVideo decides whether a video of the given frame rate and average
+// frame size fits. On success it returns a grant id and the memory the path
+// may consume (to be passed as the PA_MEMLIMIT attribute so path creation
+// aborts if any router oversteps it).
+func (c *Controller) AdmitVideo(fps int, avgBits float64, memNeed int64) (id int64, g Grant, err error) {
+	perFrame := c.Model.Predict(avgBits)
+	cpu := float64(perFrame) * float64(fps) / float64(time.Second)
+	if c.cpuUsed+cpu > c.CPUBudget {
+		return 0, Grant{}, ErrCPU
+	}
+	if c.memUsed+memNeed > c.MemBudget {
+		return 0, Grant{}, ErrMem
+	}
+	c.cpuUsed += cpu
+	c.memUsed += memNeed
+	c.nextID++
+	g = Grant{CPU: cpu, Mem: memNeed}
+	c.grants[c.nextID] = g
+	return c.nextID, g, nil
+}
+
+// Release returns a grant's resources.
+func (c *Controller) Release(id int64) {
+	g, ok := c.grants[id]
+	if !ok {
+		return
+	}
+	delete(c.grants, id)
+	c.cpuUsed -= g.CPU
+	c.memUsed -= g.Mem
+	if c.cpuUsed < 1e-12 {
+		c.cpuUsed = 0
+	}
+}
+
+// Utilization reports the committed CPU fraction and memory bytes.
+func (c *Controller) Utilization() (cpu float64, mem int64) {
+	return c.cpuUsed, c.memUsed
+}
+
+// SuggestDecimation returns the smallest "display every Nth frame" factor
+// that makes a video admissible, or 0 if even heavy decimation does not
+// help — the paper's reduced-quality fallback (§4.4).
+func (c *Controller) SuggestDecimation(fps int, avgBits float64, memNeed int64) int {
+	for n := 1; n <= 8; n++ {
+		eff := int(math.Ceil(float64(fps) / float64(n)))
+		perFrame := c.Model.Predict(avgBits)
+		cpu := float64(perFrame) * float64(eff) / float64(time.Second)
+		if c.cpuUsed+cpu <= c.CPUBudget && c.memUsed+memNeed <= c.MemBudget {
+			return n
+		}
+	}
+	return 0
+}

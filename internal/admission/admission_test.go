@@ -1,0 +1,153 @@
+package admission
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestModelRecoversLinearRelation(t *testing.T) {
+	m := &Model{}
+	// cpu = 100µs + 300ns/bit, exactly.
+	for bits := 1000.0; bits <= 50000; bits += 1000 {
+		m.Observe(bits, time.Duration(100_000+300*bits))
+	}
+	if got := m.Slope(); got < 299 || got > 301 {
+		t.Fatalf("slope = %v ns/bit, want ≈300", got)
+	}
+	if got := m.Intercept(); got < 99_000 || got > 101_000 {
+		t.Fatalf("intercept = %v ns, want ≈100µs", got)
+	}
+	if r2 := m.R2(); r2 < 0.999 {
+		t.Fatalf("R² = %v on exact data", r2)
+	}
+	if p := m.Predict(20000); p < 6*time.Millisecond || p > 6200*time.Microsecond {
+		t.Fatalf("Predict(20000) = %v", p)
+	}
+}
+
+func TestModelNoisyStillCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := &Model{}
+	for i := 0; i < 500; i++ {
+		bits := 5000 + rng.Float64()*60000
+		noise := rng.NormFloat64() * 200_000
+		m.Observe(bits, time.Duration(300*bits+1_000_000+noise))
+	}
+	if r2 := m.R2(); r2 < 0.9 {
+		t.Fatalf("R² = %v, want > 0.9 (the paper's 'good correlation')", r2)
+	}
+}
+
+func TestModelDegenerate(t *testing.T) {
+	m := &Model{}
+	if m.Slope() != 0 || m.Intercept() != 0 || m.R2() != 0 {
+		t.Fatal("empty model not zero")
+	}
+	m.Observe(1000, time.Millisecond)
+	if m.R2() != 0 {
+		t.Fatal("single-point R² should be 0 (undefined)")
+	}
+}
+
+func newFittedController() *Controller {
+	c := NewController(0.9, 1<<20)
+	for bits := 1000.0; bits <= 60000; bits += 1000 {
+		c.Model.Observe(bits, time.Duration(300*bits)) // 300ns/bit
+	}
+	return c
+}
+
+func TestAdmitWithinBudget(t *testing.T) {
+	c := newFittedController()
+	// 30fps of 50kbit frames = 30*15ms = 45% CPU.
+	id, g, err := c.AdmitVideo(30, 50000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CPU < 0.40 || g.CPU > 0.50 {
+		t.Fatalf("grant CPU = %v, want ≈0.45", g.CPU)
+	}
+	cpu, mem := c.Utilization()
+	if cpu != g.CPU || mem != 1024 {
+		t.Fatalf("utilization %v/%d", cpu, mem)
+	}
+	c.Release(id)
+	if cpu, mem := c.Utilization(); cpu != 0 || mem != 0 {
+		t.Fatalf("release leaked %v/%d", cpu, mem)
+	}
+}
+
+func TestAdmitRejectsOverCPU(t *testing.T) {
+	c := newFittedController()
+	if _, _, err := c.AdmitVideo(30, 50000, 0); err != nil { // 45%
+		t.Fatal(err)
+	}
+	if _, _, err := c.AdmitVideo(30, 50000, 0); err != nil { // 90%
+		t.Fatal(err)
+	}
+	if _, _, err := c.AdmitVideo(30, 50000, 0); err != ErrCPU {
+		t.Fatalf("third stream err = %v, want ErrCPU", err)
+	}
+}
+
+func TestAdmitRejectsOverMemory(t *testing.T) {
+	c := newFittedController()
+	if _, _, err := c.AdmitVideo(1, 1000, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AdmitVideo(1, 1000, 1); err != ErrMem {
+		t.Fatalf("err = %v, want ErrMem", err)
+	}
+}
+
+func TestSuggestDecimation(t *testing.T) {
+	c := newFittedController()
+	// 30fps of 150kbit frames = 30*45ms = 135% CPU: needs every 2nd frame.
+	n := c.SuggestDecimation(30, 150000, 0)
+	if n != 2 {
+		t.Fatalf("decimation = %d, want 2", n)
+	}
+	// Absurd load: nothing helps within 8×.
+	if n := c.SuggestDecimation(30, 10_000_000, 0); n != 0 {
+		t.Fatalf("impossible load admitted with decimation %d", n)
+	}
+}
+
+func TestReleaseUnknownGrant(t *testing.T) {
+	c := newFittedController()
+	c.Release(42) // must not panic or underflow
+	if cpu, mem := c.Utilization(); cpu != 0 || mem != 0 {
+		t.Fatal("unknown release changed utilization")
+	}
+}
+
+// Property: admissions and releases never drive utilization negative, and
+// committed CPU never exceeds the budget.
+func TestPropertyBudgetInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := newFittedController()
+		var ids []int64
+		for _, op := range ops {
+			if op%3 != 0 || len(ids) == 0 {
+				fps := int(op%30) + 1
+				id, _, err := c.AdmitVideo(fps, float64(op)*500+1000, int64(op)*64)
+				if err == nil {
+					ids = append(ids, id)
+				}
+			} else {
+				c.Release(ids[len(ids)-1])
+				ids = ids[:len(ids)-1]
+			}
+			cpu, mem := c.Utilization()
+			if cpu < 0 || cpu > c.CPUBudget+1e-9 || mem < 0 || mem > c.MemBudget {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

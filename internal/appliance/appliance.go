@@ -1,0 +1,186 @@
+// Package appliance assembles the Scout MPEG appliance: the router graph of
+// Figure 9 (DISPLAY/MPEG/MFLOW/SHELL/UDP/IP/ETH) extended with the ARP and
+// ICMP routers of Figure 6 and the TEST router of Figure 7, wired to a
+// simulated Ethernet device and framebuffer, scheduled by the two-policy
+// Scout scheduler. Experiments, examples and tools all boot kernels through
+// this package.
+package appliance
+
+import (
+	"fmt"
+	"time"
+
+	"scout/internal/core"
+	"scout/internal/display"
+	"scout/internal/netdev"
+	"scout/internal/proto/arp"
+	"scout/internal/proto/eth"
+	"scout/internal/proto/icmp"
+	"scout/internal/proto/inet"
+	"scout/internal/proto/ip"
+	"scout/internal/proto/mflow"
+	"scout/internal/proto/udp"
+	"scout/internal/routers"
+	"scout/internal/sched"
+	"scout/internal/sim"
+)
+
+// Config parameterizes a kernel boot.
+type Config struct {
+	MAC     netdev.MAC
+	Addr    inet.Addr
+	Mask    inet.Addr
+	Gateway inet.Addr
+
+	ShellPort int // default 5001
+
+	DisplayW, DisplayH int // default 640×480
+	RefreshHz          int // default 60
+
+	RRLevels int // default 8
+	RRShare  int // default 50
+	EDFShare int // default 50
+
+	// EnableILP registers the UDP-checksum-into-MPEG transformation rule.
+	EnableILP bool
+	// UDPChecksum controls whether UDP computes/verifies checksums.
+	UDPChecksum bool
+	// RxIRQCost is the per-frame receive-interrupt (classifier) cost;
+	// default 5µs, the paper's §3.6 upper bound for UDP demux.
+	RxIRQCost time.Duration
+}
+
+// DefaultConfig returns a workable single-host configuration.
+func DefaultConfig() Config {
+	return Config{
+		MAC:         netdev.MAC{2, 0, 0, 0, 0, 0x10},
+		Addr:        inet.IP(10, 0, 0, 10),
+		Mask:        inet.IP(255, 255, 255, 0),
+		ShellPort:   5001,
+		DisplayW:    640,
+		DisplayH:    480,
+		RefreshHz:   60,
+		RRLevels:    8,
+		RRShare:     50,
+		EDFShare:    50,
+		UDPChecksum: true,
+		RxIRQCost:   5 * time.Microsecond,
+	}
+}
+
+// Kernel is a booted Scout appliance.
+type Kernel struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	CPU   *sched.Sched
+	Dev   *netdev.Device
+	Link  *netdev.Link
+	FB    *display.Device
+	Graph *core.Graph
+
+	ETH     *eth.Impl
+	ARP     *arp.Impl
+	IP      *ip.Impl
+	UDP     *udp.Impl
+	ICMP    *icmp.Impl
+	MFLOW   *mflow.Impl
+	MPEG    *routers.MPEGImpl
+	Display *routers.DisplayImpl
+	Shell   *routers.ShellImpl
+	Test    *routers.TestImpl
+}
+
+// Boot builds and initializes a kernel attached to link.
+func Boot(eng *sim.Engine, link *netdev.Link, cfg Config) (*Kernel, error) {
+	if cfg.ShellPort == 0 {
+		cfg.ShellPort = 5001
+	}
+	if cfg.DisplayW == 0 {
+		cfg.DisplayW, cfg.DisplayH = 640, 480
+	}
+	if cfg.RefreshHz == 0 {
+		cfg.RefreshHz = 60
+	}
+	if cfg.RRLevels == 0 {
+		cfg.RRLevels = 8
+	}
+	if cfg.RRShare == 0 {
+		cfg.RRShare = 50
+	}
+	if cfg.EDFShare == 0 {
+		cfg.EDFShare = 50
+	}
+	if cfg.RxIRQCost == 0 {
+		cfg.RxIRQCost = 5 * time.Microsecond
+	}
+
+	k := &Kernel{Cfg: cfg, Eng: eng, Link: link}
+	k.CPU = sched.New(eng)
+	sched.AddDefaultPolicies(k.CPU, cfg.RRLevels, cfg.RRShare, cfg.EDFShare)
+
+	k.Dev = netdev.NewDevice(link, cfg.MAC, k.CPU)
+	k.Dev.RxIRQCost = cfg.RxIRQCost
+	k.FB = display.New(eng, k.CPU, cfg.DisplayW, cfg.DisplayH, cfg.RefreshHz)
+	k.FB.VsyncIRQCost = 2 * time.Microsecond
+
+	k.ETH = eth.New(k.Dev)
+	k.ARP = arp.New(cfg.Addr, k.CPU)
+	k.IP = ip.New(ip.Config{Addr: cfg.Addr, Mask: cfg.Mask, Gateway: cfg.Gateway}, k.CPU)
+	k.UDP = udp.New()
+	k.UDP.ChecksumTx = cfg.UDPChecksum
+	k.UDP.ChecksumRx = cfg.UDPChecksum
+	k.ICMP = icmp.New(k.CPU)
+	k.MFLOW = mflow.New(eng)
+	k.MPEG = routers.NewMPEG()
+	k.Display = routers.NewDisplay(k.FB, k.CPU)
+	k.Shell = routers.NewShell(k.CPU, cfg.ShellPort)
+	k.Test = routers.NewTest(k.CPU)
+
+	g := core.NewGraph()
+	k.Graph = g
+	rETH := g.Add("ETH", k.ETH)
+	rARP := g.Add("ARP", k.ARP)
+	rIP := g.Add("IP", k.IP)
+	rUDP := g.Add("UDP", k.UDP)
+	rICMP := g.Add("ICMP", k.ICMP)
+	rMFLOW := g.Add("MFLOW", k.MFLOW)
+	rMPEG := g.Add("MPEG", k.MPEG)
+	rDISP := g.Add("DISPLAY", k.Display)
+	rSHELL := g.Add("SHELL", k.Shell)
+	rTEST := g.Add("TEST", k.Test)
+
+	// Figure 6 wiring.
+	g.MustConnect(rARP, "down", rETH, "up")
+	g.MustConnect(rIP, "down", rETH, "up")
+	g.MustConnect(rIP, "res", rARP, "resolver")
+	// Figure 9 wiring.
+	g.MustConnect(rUDP, "down", rIP, "up")
+	g.MustConnect(rICMP, "down", rIP, "up")
+	g.MustConnect(rMFLOW, "down", rUDP, "up")
+	g.MustConnect(rSHELL, "down", rUDP, "up")
+	g.MustConnect(rTEST, "down", rUDP, "up")
+	g.MustConnect(rMPEG, "down", rMFLOW, "up")
+	g.MustConnect(rDISP, "down", rMPEG, "up")
+
+	if cfg.EnableILP {
+		g.AddRule(routers.ILPRule("MPEG", "MFLOW", "UDP"))
+	}
+	if err := g.Build(); err != nil {
+		return nil, fmt.Errorf("appliance: %w", err)
+	}
+	return k, nil
+}
+
+// CreateVideoPath creates an MPEG path directly (without going through
+// SHELL's network protocol) for a source at src, returning the path and the
+// local UDP port the source must send to.
+func (k *Kernel) CreateVideoPath(a *VideoAttrs) (*core.Path, uint16, error) {
+	attrs := a.build()
+	disp, _ := k.Graph.Router("DISPLAY")
+	p, err := k.Graph.CreatePath(disp, attrs)
+	if err != nil {
+		return nil, 0, err
+	}
+	lport, _ := p.Attrs.Int(inet.AttrLocalPort)
+	return p, uint16(lport), nil
+}

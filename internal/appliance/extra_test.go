@@ -1,0 +1,171 @@
+package appliance
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scout/internal/admission"
+
+	"scout/internal/display"
+	"scout/internal/host"
+	"scout/internal/msg"
+	"scout/internal/netdev"
+	"scout/internal/proto/inet"
+	"scout/internal/sim"
+)
+
+// The fbuf argument (§1): a path-based system places data where every
+// module along the path can reach it, so the data path performs no copies.
+// The msg layer counts every copy; a whole clip must stream with zero.
+func TestVideoDataPathIsCopyFree(t *testing.T) {
+	msg.ResetStats()
+	k, p, src, eng := streamClip(t, true, 30)
+	eng.RunUntil(sim.Time(3 * time.Second))
+	if done, _ := src.Done(); !done {
+		t.Fatal("source did not finish")
+	}
+	sink := k.Display.Sink(p, "DISPLAY")
+	if sink.Displayed() != 30 {
+		t.Fatalf("displayed %d", sink.Displayed())
+	}
+	realloc, _, _ := msg.CopyStats()
+	if realloc != 0 {
+		t.Fatalf("%d headroom-exhaustion copies on the video data path; paths must pre-size buffers", realloc)
+	}
+}
+
+func TestARPResolutionFailure(t *testing.T) {
+	eng, k, _ := bootPair(t, netdev.LinkConfig{}, DefaultConfig())
+	var mac netdev.MAC
+	ok := true
+	fired := false
+	eng.At(0, func() {
+		k.ARP.Resolve(inet.IP(10, 0, 0, 250), func(m netdev.MAC, good bool) {
+			mac, ok, fired = m, good, true
+		})
+	})
+	eng.RunUntil(sim.Time(10 * time.Second))
+	if !fired {
+		t.Fatal("resolution callback never fired")
+	}
+	if ok {
+		t.Fatalf("resolved a nonexistent host to %v", mac)
+	}
+	reqs, _ := k.ARP.Stats()
+	if reqs < 3 {
+		t.Fatalf("only %d ARP retries before giving up", reqs)
+	}
+}
+
+func TestARPCacheHitIsSynchronous(t *testing.T) {
+	eng, k, h := bootPair(t, netdev.LinkConfig{}, DefaultConfig())
+	// Prime the cache via a first resolution.
+	eng.At(0, func() {
+		k.ARP.Resolve(h.Addr, func(netdev.MAC, bool) {})
+	})
+	eng.RunUntil(sim.Time(time.Second))
+	hit := false
+	k.ARP.Resolve(h.Addr, func(m netdev.MAC, ok bool) {
+		hit = ok && m == h.Dev.Addr
+	})
+	if !hit {
+		t.Fatal("cached resolution was not synchronous")
+	}
+}
+
+// Admission-control integration: creation against a PA_MEMLIMIT grant.
+func TestVideoPathMemoryGrant(t *testing.T) {
+	_, k, _ := bootPair(t, netdev.LinkConfig{}, DefaultConfig())
+	// A grant too small for the queues must abort creation (§4.4).
+	_, _, err := k.CreateVideoPath(&VideoAttrs{
+		Source:   inet.Participants{RemoteAddr: peerAddr, RemotePort: 7000},
+		QueueLen: 128,
+	})
+	if err != nil {
+		t.Fatalf("unrestricted path failed: %v", err)
+	}
+	a := &VideoAttrs{
+		Source:   inet.Participants{RemoteAddr: peerAddr, RemotePort: 7001},
+		QueueLen: 128,
+	}
+	attrs := a.build().Set("PA_MEMLIMIT", 100)
+	disp, _ := k.Graph.Router("DISPLAY")
+	if _, err := k.Graph.CreatePath(disp, attrs); err == nil {
+		t.Fatal("path created despite a 100-byte memory grant")
+	}
+}
+
+func TestPolicySharesHoldUnderMixedLoad(t *testing.T) {
+	// Two video paths, one EDF and one RR, both playing: the policy
+	// shares (50/50 by default) must keep both making progress.
+	eng, k, _ := bootPair(t, netdev.LinkConfig{}, DefaultConfig())
+	var sinks []*display.Sink
+	for i, sched := range []string{"edf", "rr"} {
+		mac := peerMAC
+		mac[5] = byte(0x70 + i)
+		addr := peerAddr
+		addr[3] = byte(200 + i)
+		h := host.New(k.Link, mac, addr)
+		clip := tinyClip
+		clip.Frames = 60
+		p, lport, err := k.CreateVideoPath(&VideoAttrs{
+			Source: inet.Participants{RemoteAddr: addr, RemotePort: 7000},
+			FPS:    30, Frames: 60, CostModel: true, QueueLen: 32, Sched: sched, Priority: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := host.NewSource(h, host.SourceConfig{Clip: clip, SrcPort: 7000, CostOnly: true, Seed: int64(9 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kAddr := k.Cfg.Addr
+		port := lport
+		eng.At(0, func() { src.Start(kAddr, port) })
+		sinks = append(sinks, k.Display.Sink(p, "DISPLAY"))
+	}
+	eng.RunUntil(sim.Time(5 * time.Second))
+	for i, s := range sinks {
+		if s.Displayed() != 60 {
+			t.Fatalf("stream %d displayed %d, want 60", i, s.Displayed())
+		}
+	}
+}
+
+// §4.4 extension: SHELL gates mpeg commands through admission control.
+func TestShellAdmissionControl(t *testing.T) {
+	_, k, _ := bootPair(t, netdev.LinkConfig{}, DefaultConfig())
+	ctl := admission.NewController(0.9, 1<<20)
+	// Fit the model as the running system would (300ns/bit + per-frame).
+	for bits := 1000.0; bits <= 60000; bits += 1000 {
+		ctl.Model.Observe(bits, time.Duration(300*bits)+2500*time.Microsecond)
+	}
+	k.Shell.Admission = ctl
+	from := inet.Participants{RemoteAddr: peerAddr, RemotePort: 6100}
+
+	// 30fps of 58kbit frames ≈ 60% CPU: admitted.
+	r1 := k.Shell.Execute("mpeg 7000 30 0 edf 0 32 58000", from)
+	if !strings.HasPrefix(r1, "OK ") {
+		t.Fatalf("first stream refused: %q", r1)
+	}
+	// A second identical stream would exceed the 90% budget: refused with
+	// a decimation suggestion (every 2nd frame halves the demand).
+	r2 := k.Shell.Execute("mpeg 7001 30 0 edf 0 32 58000", from)
+	if !strings.HasPrefix(r2, "BUSY try decimation") {
+		t.Fatalf("second stream reply: %q", r2)
+	}
+	// Stopping the first stream releases its grant; now it fits.
+	pid := strings.Fields(r1)[1]
+	if r := k.Shell.Execute("stop "+pid, from); r != "OK" {
+		t.Fatalf("stop: %q", r)
+	}
+	r3 := k.Shell.Execute("mpeg 7001 30 0 edf 0 32 58000", from)
+	if !strings.HasPrefix(r3, "OK ") {
+		t.Fatalf("stream after release refused: %q", r3)
+	}
+	cpu, _ := ctl.Utilization()
+	if cpu < 0.5 || cpu > 0.9 {
+		t.Fatalf("committed CPU %.2f after one admitted stream", cpu)
+	}
+}

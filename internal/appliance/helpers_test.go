@@ -1,0 +1,88 @@
+package appliance
+
+import (
+	"encoding/binary"
+
+	"scout/internal/attr"
+	"scout/internal/host"
+	"scout/internal/msg"
+	"scout/internal/netdev"
+	"scout/internal/proto/eth"
+	"scout/internal/proto/inet"
+	"scout/internal/proto/ip"
+	"scout/internal/proto/mflow"
+	"scout/internal/proto/udp"
+)
+
+// attrsFor builds TEST-path attributes talking to remote (addr, rport) from
+// local port lport.
+func attrsFor(raddr inet.Addr, rport, lport int) *attr.Attrs {
+	return attr.New().
+		Set(attr.NetParticipants, inet.Participants{RemoteAddr: raddr, RemotePort: uint16(rport)}).
+		Set(inet.AttrLocalPort, lport)
+}
+
+// newPayloadMsg allocates an outbound message with generous header room.
+func newPayloadMsg(n int) *msg.Msg {
+	m := msg.NewWithHeadroom(eth.HeaderLen+ip.HeaderLen+udp.HeaderLen+mflow.HeaderLen+16, n)
+	b := m.Bytes()
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return m
+}
+
+// sendFragmentedUDP hand-builds a UDP datagram of size payload bytes and
+// transmits it as IP fragments (out of order, to exercise reassembly).
+func sendFragmentedUDP(h *host.Host, dst inet.Addr, dstPort, srcPort uint16, size int) {
+	dg := make([]byte, udp.HeaderLen+size)
+	uh := udp.Header{SrcPort: srcPort, DstPort: dstPort, Length: uint16(len(dg))}
+	uh.Put(dg[:udp.HeaderLen])
+	for i := udp.HeaderLen; i < len(dg); i++ {
+		dg[i] = byte(i)
+	}
+	ck := inet.ChecksumPseudo(h.Addr, dst, inet.ProtoUDP, dg)
+	if ck == 0 {
+		ck = 0xffff
+	}
+	binary.BigEndian.PutUint16(dg[6:8], ck)
+
+	const maxFrag = 1024 // bytes of payload per fragment, 8-aligned
+	type frag struct {
+		off  int
+		data []byte
+		mf   bool
+	}
+	var frags []frag
+	for off := 0; off < len(dg); off += maxFrag {
+		end := off + maxFrag
+		mf := true
+		if end >= len(dg) {
+			end = len(dg)
+			mf = false
+		}
+		frags = append(frags, frag{off: off, data: dg[off:end], mf: mf})
+	}
+	// Deliver out of order: swap first two.
+	if len(frags) >= 2 {
+		frags[0], frags[1] = frags[1], frags[0]
+	}
+	h.Resolve(dst, func(mac netdev.MAC) {
+		for _, f := range frags {
+			pkt := make([]byte, ip.HeaderLen+len(f.data))
+			ih := ip.Header{
+				TotalLen: uint16(len(pkt)),
+				ID:       777,
+				MF:       f.mf,
+				FragOff:  f.off,
+				TTL:      64,
+				Proto:    inet.ProtoUDP,
+				Src:      h.Addr,
+				Dst:      dst,
+			}
+			ih.Put(pkt[:ip.HeaderLen])
+			copy(pkt[ip.HeaderLen:], f.data)
+			h.SendFrame(mac, inet.EtherTypeIP, pkt)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package appliance
+
+import (
+	"scout/internal/attr"
+	"scout/internal/proto/inet"
+	"scout/internal/routers"
+)
+
+// VideoAttrs is a builder for the attribute set (invariants) of an MPEG
+// path — the same attributes SHELL sets when servicing an mpeg command
+// (§4.1), exposed as a struct for programmatic use.
+type VideoAttrs struct {
+	// Source identifies the video sender (PA_NET_PARTICIPANTS).
+	Source inet.Participants
+	// FPS is the playback rate (default 30).
+	FPS int
+	// Frames is the clip length (0 = open-ended).
+	Frames int
+	// Sched selects "edf" (default) or "rr".
+	Sched string
+	// Priority is the RR priority when Sched is "rr".
+	Priority int
+	// QueueLen sizes the path queues (0 = default).
+	QueueLen int
+	// CostModel selects header-only decode with modeled CPU cost.
+	CostModel bool
+	// DeadlineFrom overrides the EDF bottleneck queue: "out", "in", "min".
+	DeadlineFrom string
+	// LocalPort pins the local UDP port (0 = ephemeral).
+	LocalPort int
+}
+
+func (v *VideoAttrs) build() *attr.Attrs {
+	a := attr.New().
+		Set(attr.NetParticipants, v.Source).
+		Set(attr.PathName, "MPEG")
+	fps := v.FPS
+	if fps == 0 {
+		fps = 30
+	}
+	a.Set(routers.AttrFPS, fps)
+	if v.Frames > 0 {
+		a.Set(routers.AttrFrames, v.Frames)
+	}
+	if v.Sched != "" {
+		a.Set(routers.AttrSched, v.Sched)
+	}
+	if v.Priority != 0 {
+		a.Set(routers.AttrPriority, v.Priority)
+	}
+	if v.QueueLen > 0 {
+		a.Set(attr.QueueLen, v.QueueLen)
+	}
+	if v.CostModel {
+		a.Set(routers.AttrCostModel, true)
+	}
+	if v.DeadlineFrom != "" {
+		a.Set(routers.AttrDeadlineFrom, v.DeadlineFrom)
+	}
+	if v.LocalPort > 0 {
+		a.Set(inet.AttrLocalPort, v.LocalPort)
+	}
+	return a
+}

@@ -1,0 +1,142 @@
+// Package attr implements the attribute sets (name/value pairs) that Scout
+// uses both to describe the invariants of a path being created (§3.3 of the
+// paper) and to let stages of a live path share state anonymously (§3.2).
+package attr
+
+import "sort"
+
+// Name identifies an attribute. Well-known names below are the ones the
+// paper mentions explicitly; routers are free to invent their own.
+type Name string
+
+// Attribute names from §4.1 of the paper.
+const (
+	// NetParticipants holds the remote <ip-addr, udp-port> pair a network
+	// path talks to. The value is protocol-specific (see proto packages).
+	NetParticipants Name = "PA_NET_PARTICIPANTS"
+	// PathName forces or supplies routing decisions as a sequence of
+	// router names ("MPEG" in the paper's example). Value: string.
+	PathName Name = "PA_PATHNAME"
+	// ProtID carries the protocol id of the next-higher protocol; it is
+	// reset by each networking router during path creation. Value: int.
+	ProtID Name = "PA_PROTID"
+	// Deadline describes a soft-realtime requirement for the path.
+	Deadline Name = "PA_DEADLINE"
+	// QueueLen lets the creator size the path's queues. Value: int.
+	QueueLen Name = "PA_QUEUELEN"
+	// MemLimit is the admission-control memory budget in bytes. Value: int.
+	MemLimit Name = "PA_MEMLIMIT"
+)
+
+// Attrs is a mutable set of name/value pairs. A nil *Attrs behaves like an
+// empty, read-only set, so routers can call Get on whatever they are handed
+// without nil checks.
+type Attrs struct {
+	m map[Name]any
+}
+
+// New returns an empty attribute set.
+func New() *Attrs { return &Attrs{m: make(map[Name]any)} }
+
+// Set stores v under n and returns a for chaining.
+func (a *Attrs) Set(n Name, v any) *Attrs {
+	if a.m == nil {
+		a.m = make(map[Name]any)
+	}
+	a.m[n] = v
+	return a
+}
+
+// Get returns the value stored under n.
+func (a *Attrs) Get(n Name) (any, bool) {
+	if a == nil || a.m == nil {
+		return nil, false
+	}
+	v, ok := a.m[n]
+	return v, ok
+}
+
+// Has reports whether n is present.
+func (a *Attrs) Has(n Name) bool {
+	_, ok := a.Get(n)
+	return ok
+}
+
+// Delete removes n.
+func (a *Attrs) Delete(n Name) {
+	if a != nil && a.m != nil {
+		delete(a.m, n)
+	}
+}
+
+// Len reports the number of attributes.
+func (a *Attrs) Len() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.m)
+}
+
+// Int returns the attribute as an int. ok is false if the attribute is
+// absent or not an int.
+func (a *Attrs) Int(n Name) (int, bool) {
+	v, ok := a.Get(n)
+	if !ok {
+		return 0, false
+	}
+	i, ok := v.(int)
+	return i, ok
+}
+
+// IntDefault returns the attribute as an int, or def if absent/mistyped.
+func (a *Attrs) IntDefault(n Name, def int) int {
+	if i, ok := a.Int(n); ok {
+		return i
+	}
+	return def
+}
+
+// String returns the attribute as a string.
+func (a *Attrs) String(n Name) (string, bool) {
+	v, ok := a.Get(n)
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
+// Float returns the attribute as a float64.
+func (a *Attrs) Float(n Name) (float64, bool) {
+	v, ok := a.Get(n)
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	return f, ok
+}
+
+// Clone returns an independent shallow copy. Cloning nil yields a usable
+// empty set.
+func (a *Attrs) Clone() *Attrs {
+	c := New()
+	if a != nil {
+		for k, v := range a.m {
+			c.m[k] = v
+		}
+	}
+	return c
+}
+
+// Names returns the attribute names in sorted order (for stable printing).
+func (a *Attrs) Names() []Name {
+	if a == nil {
+		return nil
+	}
+	names := make([]Name, 0, len(a.m))
+	for k := range a.m {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}

@@ -1,0 +1,134 @@
+package attr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGet(t *testing.T) {
+	a := New().Set(ProtID, 17).Set(PathName, "MPEG")
+	if v, ok := a.Int(ProtID); !ok || v != 17 {
+		t.Fatalf("Int(ProtID) = %v,%v", v, ok)
+	}
+	if v, ok := a.String(PathName); !ok || v != "MPEG" {
+		t.Fatalf("String(PathName) = %q,%v", v, ok)
+	}
+}
+
+func TestNilAttrsReadable(t *testing.T) {
+	var a *Attrs
+	if _, ok := a.Get(ProtID); ok {
+		t.Fatal("nil Attrs reported a value")
+	}
+	if a.Has(ProtID) {
+		t.Fatal("nil Attrs Has = true")
+	}
+	if a.Len() != 0 {
+		t.Fatal("nil Attrs Len != 0")
+	}
+	a.Delete(ProtID) // must not panic
+	if c := a.Clone(); c == nil || c.Len() != 0 {
+		t.Fatal("Clone of nil not empty usable set")
+	}
+	if a.Names() != nil {
+		t.Fatal("nil Attrs Names != nil")
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	a := New().Set(ProtID, "seventeen")
+	if _, ok := a.Int(ProtID); ok {
+		t.Fatal("Int succeeded on a string value")
+	}
+	if s, ok := a.String(ProtID); !ok || s != "seventeen" {
+		t.Fatal("String failed on string value")
+	}
+}
+
+func TestIntDefault(t *testing.T) {
+	a := New()
+	if got := a.IntDefault(QueueLen, 32); got != 32 {
+		t.Fatalf("IntDefault = %d, want 32", got)
+	}
+	a.Set(QueueLen, 8)
+	if got := a.IntDefault(QueueLen, 32); got != 8 {
+		t.Fatalf("IntDefault = %d, want 8", got)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	a := New().Set(ProtID, 6)
+	a.Set(ProtID, 17)
+	if v, _ := a.Int(ProtID); v != 17 {
+		t.Fatalf("overwrite failed, got %d", v)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", a.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	a := New().Set(ProtID, 6)
+	a.Delete(ProtID)
+	if a.Has(ProtID) {
+		t.Fatal("Delete did not remove attribute")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New().Set(ProtID, 6)
+	c := a.Clone()
+	c.Set(ProtID, 17)
+	if v, _ := a.Int(ProtID); v != 6 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	a := New().Set("z", 1).Set("a", 2).Set("m", 3)
+	names := a.Names()
+	want := []Name{"a", "m", "z"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestFloat(t *testing.T) {
+	a := New().Set("rate", 29.97)
+	if f, ok := a.Float("rate"); !ok || f != 29.97 {
+		t.Fatalf("Float = %v,%v", f, ok)
+	}
+}
+
+// Property: Set then Get round-trips arbitrary string values.
+func TestPropertySetGetRoundTrip(t *testing.T) {
+	f := func(key string, val string) bool {
+		a := New().Set(Name(key), val)
+		got, ok := a.String(Name(key))
+		return ok && got == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Len equals the number of distinct keys inserted.
+func TestPropertyLenDistinctKeys(t *testing.T) {
+	f := func(keys []string) bool {
+		a := New()
+		distinct := map[string]bool{}
+		for _, k := range keys {
+			a.Set(Name(k), 1)
+			distinct[k] = true
+		}
+		return a.Len() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package core implements the Scout path architecture of §§2-3 of the
+// paper: routers and typed services composed into a router graph, stages and
+// interfaces, incremental path creation driven by attribute invariants,
+// global guard/transformation rules, per-router demux (packet
+// classification), and the path object with its four queues, attributes and
+// wakeup callback. This package is the paper's primary contribution; every
+// other package is substrate.
+package core
+
+import "fmt"
+
+// Direction selects which way a message traverses a path. FWD is the
+// direction in which the path was created; BWD is the reverse (§2.4.1).
+type Direction int
+
+const (
+	FWD Direction = 0
+	BWD Direction = 1
+)
+
+// Opposite returns the reverse direction.
+func (d Direction) Opposite() Direction { return 1 - d }
+
+func (d Direction) String() string {
+	if d == FWD {
+		return "FWD"
+	}
+	return "BWD"
+}
+
+// IfaceType names an interface type. Scout supports simple single
+// inheritance for interface types (§3.1): a service may be connected where a
+// less specific interface is required.
+type IfaceType struct {
+	Name   string
+	Parent *IfaceType // nil for a root type
+}
+
+// NewIfaceType declares an interface type derived from parent (nil for a
+// root type).
+func NewIfaceType(name string, parent *IfaceType) *IfaceType {
+	return &IfaceType{Name: name, Parent: parent}
+}
+
+// ConformsTo reports whether t is identical to or more specific than req.
+func (t *IfaceType) ConformsTo(req *IfaceType) bool {
+	for cur := t; cur != nil; cur = cur.Parent {
+		if cur == req {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *IfaceType) String() string { return t.Name }
+
+// ServiceType pairs the interface a service provides with the interface it
+// requires of its peer, mirroring the paper's
+//
+//	servicetype net = <NetIface, NetIface>;
+type ServiceType struct {
+	Name     string
+	Provides *IfaceType
+	Requires *IfaceType
+}
+
+// CanConnect reports whether a service of type t may be linked to a service
+// of type u: each side must provide an interface identical to or more
+// specific than the one the other requires.
+func (t *ServiceType) CanConnect(u *ServiceType) bool {
+	return t.Provides.ConformsTo(u.Requires) && u.Provides.ConformsTo(t.Requires)
+}
+
+// Iface is implemented by every concrete interface type. Concrete types
+// embed BaseIface and add their delivery function pointers (the paper's
+// NetIface holds a single deliver function; the window and file interfaces
+// hold others).
+type Iface interface {
+	Base() *BaseIface
+}
+
+// BaseIface is the paper's struct Iface: chain pointers along the path plus
+// a back pointer for turning messages around, and the owning stage.
+type BaseIface struct {
+	// Next is the next interface when traversing the path in this
+	// interface's direction.
+	Next Iface
+	// Back is the next interface in the opposite direction, used when a
+	// router turns a message around mid-path (e.g. sending an ACK).
+	Back Iface
+	// Stage owns this interface.
+	Stage *Stage
+}
+
+// Base returns the embedded BaseIface; it makes any embedder satisfy Iface.
+func (b *BaseIface) Base() *BaseIface { return b }
+
+// Path returns the path the interface belongs to (nil before the interface
+// is linked into a path).
+func (b *BaseIface) Path() *Path {
+	if b.Stage == nil {
+		return nil
+	}
+	return b.Stage.Path
+}
+
+func (b *BaseIface) String() string {
+	if b.Stage == nil {
+		return "iface(unattached)"
+	}
+	return fmt.Sprintf("iface(%s)", b.Stage.Router.Name)
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scout/internal/attr"
+)
+
+// ThreadControl is the subset of the scheduler's thread API a path's wakeup
+// callback may use to impose the path's scheduling requirements on a newly
+// awakened thread (§3.4). It is declared here, rather than importing the
+// scheduler, so core stays scheduler-agnostic.
+type ThreadControl interface {
+	// SetPolicy selects the scheduling policy by name ("rr", "edf", ...).
+	SetPolicy(policy string)
+	// SetPriority sets the fixed priority for priority-based policies
+	// (lower number = more urgent, like the paper's round-robin levels).
+	SetPriority(prio int)
+	// SetDeadline sets the absolute virtual-time deadline in nanoseconds
+	// for deadline-based policies.
+	SetDeadline(deadline int64)
+}
+
+// WakeupFunc is the paper's wakeup function pointer: invoked when a thread
+// is awakened to execute in path p so the path can adjust the thread's
+// policy and priority.
+type WakeupFunc func(p *Path, t ThreadControl)
+
+// Stage is one router's contribution to a path (§3.2): a fixed routing
+// decision between a pair of services, carrying up to two interfaces (one
+// per direction) and the establish/destroy hooks run during path creation
+// and teardown.
+type Stage struct {
+	Path   *Path
+	Router *Router
+	// EnterService is the service index the path enters through
+	// (NoService for the first stage).
+	EnterService int
+	// End holds the stage's interfaces: End[FWD] receives messages
+	// traveling in the creation direction, End[BWD] the reverse. Extreme
+	// stages may have only one.
+	End [2]Iface
+	// Establish, if non-nil, runs after the whole path object exists
+	// (creation phase 3), so it may depend on the entire path.
+	Establish func(s *Stage, a *attr.Attrs) error
+	// Destroy, if non-nil, runs at path deletion, in reverse creation
+	// order.
+	Destroy func(s *Stage)
+	// Data holds router-specific per-stage state (reassembly buffers,
+	// decode contexts, ...).
+	Data any
+}
+
+// SetIface installs i as the stage's interface for direction d and binds the
+// interface back to the stage.
+func (s *Stage) SetIface(d Direction, i Iface) {
+	s.End[d] = i
+	if i != nil {
+		i.Base().Stage = s
+	}
+}
+
+func (s *Stage) String() string {
+	if s.Router == nil {
+		return "stage(?)"
+	}
+	return fmt.Sprintf("stage(%s)", s.Router.Name)
+}
+
+// Path is the explicit path object (§3.2): the stages at its extreme ends,
+// a path id, the wakeup callback, four queues, and an attribute set through
+// which stages share information anonymously.
+type Path struct {
+	PID   int64
+	End   [2]*Stage
+	Q     [4]*Queue
+	Attrs *attr.Attrs
+	// Wakeup, when non-nil, is called by the scheduler whenever a thread
+	// is awakened to execute in this path.
+	Wakeup WakeupFunc
+
+	graph  *Graph
+	stages []*Stage
+	dead   bool
+
+	applied map[string]bool // transformation rules already applied
+
+	// Resource accounting (§4.4). Memory is charged during creation and
+	// establishment; CPU is charged by the scheduler per execution.
+	memBytes int64
+	memLimit int64 // 0 = unlimited
+	cpu      time.Duration
+	execEWMA time.Duration // smoothed per-execution CPU time
+	execN    int64
+
+	// Msgs counts messages that completed traversal per direction;
+	// devices and end stages bump it.
+	Msgs [2]int64
+
+	execCost time.Duration
+
+	// EarlyDiscard, when non-nil, is consulted by the device driver at
+	// interrupt time after classification: returning true drops the
+	// message before it is queued, let alone processed. It implements
+	// §4.4's "drop packets of skipped frames as soon as they arrive at
+	// the network adapter". The filter must only peek at the message.
+	EarlyDiscard func(m any) bool
+	// EarlyDiscards counts messages dropped by the filter.
+	EarlyDiscards int64
+}
+
+// ChargeExec adds d to the cost of the execution currently in progress;
+// stages call it as they process a message, and the thread body collects the
+// total via TakeExecCost to report it to the scheduler.
+func (p *Path) ChargeExec(d time.Duration) { p.execCost += d }
+
+// TakeExecCost returns and resets the accumulated execution cost.
+func (p *Path) TakeExecCost() time.Duration {
+	c := p.execCost
+	p.execCost = 0
+	return c
+}
+
+// IncomingDir reports the direction a message travels when it enters the
+// path at the stage owned by the named router: BWD if that router
+// contributed the last stage, FWD if the first. Device routers use it to
+// pick the right input queue for arriving data.
+func (p *Path) IncomingDir(router string) (Direction, bool) {
+	if p.End[1] != nil && p.End[1].Router != nil && p.End[1].Router.Name == router {
+		return BWD, true
+	}
+	if p.End[0] != nil && p.End[0].Router != nil && p.End[0].Router.Name == router {
+		return FWD, true
+	}
+	return FWD, false
+}
+
+// EnqueueIncoming places m — data that just arrived at the named end router
+// (classified by demux) — into the appropriate input queue. It reports false
+// when the queue is full, in which case the caller discards the work early
+// (§1: "discard unnecessary work early").
+func (p *Path) EnqueueIncoming(router string, m any) bool {
+	d, ok := p.IncomingDir(router)
+	if !ok {
+		return false
+	}
+	return p.Q[QIn(d)].Enqueue(m)
+}
+
+// ErrMemLimit is returned by ChargeMemory when a path would exceed the
+// memory the admission policy granted it.
+var ErrMemLimit = errors.New("core: path memory limit exceeded")
+
+// ErrPathDead is returned when operating on a deleted path.
+var ErrPathDead = errors.New("core: path deleted")
+
+// defaultQueueLen sizes path queues when PA_QUEUELEN is absent.
+const defaultQueueLen = 32
+
+// CreatePath implements the paper's pathCreate(r, a): phase 1 walks
+// createStage from router r while the invariants in a admit a unique routing
+// decision; phase 2 links the resulting stages and interfaces into a path
+// object; phase 3 runs the establish functions in creation order; phase 4
+// applies the graph's transformation rules until no guard fires.
+func (g *Graph) CreatePath(r *Router, a *attr.Attrs) (*Path, error) {
+	if r == nil {
+		return nil, errors.New("core: CreatePath on nil router")
+	}
+	if a == nil {
+		a = attr.New()
+	}
+	const maxStages = 64 // a path is a *linear* flow; runaway creation is a bug
+	var stages []*Stage
+	hop := &NextHop{Router: r, Service: NoService}
+	for {
+		st, next, err := hop.Router.Impl.CreateStage(hop.Router, hop.Service, a)
+		if err != nil {
+			destroyStages(stages)
+			return nil, fmt.Errorf("core: createStage %s: %w", hop.Router.Name, err)
+		}
+		if st == nil {
+			destroyStages(stages)
+			return nil, fmt.Errorf("core: createStage %s returned no stage", hop.Router.Name)
+		}
+		st.Router = hop.Router
+		st.EnterService = hop.Service
+		stages = append(stages, st)
+		if next == nil {
+			break
+		}
+		if len(stages) >= maxStages {
+			destroyStages(stages)
+			return nil, fmt.Errorf("core: path exceeds %d stages (cycle in routing decisions?)", maxStages)
+		}
+		hop = next
+	}
+
+	// Phase 2: combine stages into a path object.
+	g.nextPID++
+	p := &Path{
+		PID:      g.nextPID,
+		graph:    g,
+		stages:   stages,
+		Attrs:    a.Clone(),
+		applied:  make(map[string]bool),
+		memLimit: int64(a.IntDefault(attr.MemLimit, 0)),
+	}
+	p.End[0], p.End[1] = stages[0], stages[len(stages)-1]
+	qlen := a.IntDefault(attr.QueueLen, defaultQueueLen)
+	for i := range p.Q {
+		p.Q[i] = NewQueue(qlen)
+	}
+	if err := p.ChargeMemory(p.footprint()); err != nil {
+		destroyStages(stages)
+		return nil, err
+	}
+	for i, st := range stages {
+		st.Path = p
+		if fwd := st.End[FWD]; fwd != nil {
+			if i+1 < len(stages) {
+				fwd.Base().Next = stages[i+1].End[FWD]
+			}
+			if i > 0 {
+				fwd.Base().Back = stages[i-1].End[BWD]
+			}
+		}
+		if bwd := st.End[BWD]; bwd != nil {
+			if i > 0 {
+				bwd.Base().Next = stages[i-1].End[BWD]
+			}
+			if i+1 < len(stages) {
+				bwd.Base().Back = stages[i+1].End[FWD]
+			}
+		}
+	}
+
+	// Phase 3: establish, in creation order.
+	for _, st := range stages {
+		if st.Establish == nil {
+			continue
+		}
+		if err := st.Establish(st, a); err != nil {
+			p.Delete()
+			return nil, fmt.Errorf("core: establish %s: %w", st.Router.Name, err)
+		}
+	}
+
+	// Phase 4: apply global transformation rules (§3.3). Semantically a
+	// no-op; each rule may only improve the path.
+	if err := g.applyRules(p); err != nil {
+		p.Delete()
+		return nil, err
+	}
+	return p, nil
+}
+
+func destroyStages(stages []*Stage) {
+	for i := len(stages) - 1; i >= 0; i-- {
+		if stages[i].Destroy != nil {
+			stages[i].Destroy(stages[i])
+		}
+	}
+}
+
+// footprint estimates the base memory of the path object, stages and queues,
+// charged against the admission grant (§4.4).
+func (p *Path) footprint() int64 {
+	const pathOverhead = 300 // paper: path object ≈ 300 bytes
+	const stageOverhead = 150
+	q := int64(0)
+	for _, qu := range p.Q {
+		q += int64(qu.Max()) * 16
+	}
+	return pathOverhead + int64(len(p.stages))*stageOverhead + q
+}
+
+// Delete tears the path down: destroy functions run in reverse creation
+// order, the queues are drained, and the path is marked dead. Deleting a
+// dead path is a no-op; the Scout infrastructure never deletes paths
+// implicitly (§3.3), so routers own this call.
+func (p *Path) Delete() {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	destroyStages(p.stages)
+	for _, q := range p.Q {
+		if q != nil {
+			q.Reset()
+		}
+	}
+}
+
+// Dead reports whether Delete has run.
+func (p *Path) Dead() bool { return p.dead }
+
+// Stages returns the path's stages in creation order. The slice is owned by
+// the path; callers must not mutate it.
+func (p *Path) Stages() []*Stage { return p.stages }
+
+// Len reports the number of stages — the paper's path "length".
+func (p *Path) Len() int { return len(p.stages) }
+
+// StageOf returns the (first) stage contributed by the named router, or nil.
+func (p *Path) StageOf(router string) *Stage {
+	for _, s := range p.stages {
+		if s.Router != nil && s.Router.Name == router {
+			return s
+		}
+	}
+	return nil
+}
+
+// Graph returns the router graph that created the path.
+func (p *Path) Graph() *Graph { return p.graph }
+
+// ChargeMemory records bytes of memory consumed on behalf of the path;
+// negative amounts release. It fails when the admission grant would be
+// exceeded, which aborts path creation (§4.4).
+func (p *Path) ChargeMemory(bytes int64) error {
+	if p.memLimit > 0 && p.memBytes+bytes > p.memLimit {
+		return ErrMemLimit
+	}
+	p.memBytes += bytes
+	return nil
+}
+
+// MemoryBytes reports the memory currently charged to the path.
+func (p *Path) MemoryBytes() int64 { return p.memBytes }
+
+// AddCPU charges d of (virtual) CPU time to the path and folds it into the
+// per-execution EWMA the deadline and admission machinery read (§4.2, §4.4).
+func (p *Path) AddCPU(d time.Duration) {
+	p.cpu += d
+	p.execN++
+	if p.execEWMA == 0 {
+		p.execEWMA = d
+	} else {
+		// EWMA with alpha = 1/8, the classic TCP srtt gain.
+		p.execEWMA += (d - p.execEWMA) / 8
+	}
+}
+
+// CPUTime reports the total CPU time charged to the path.
+func (p *Path) CPUTime() time.Duration { return p.cpu }
+
+// ExecEWMA reports the smoothed per-execution CPU time ("average time spent
+// processing each packet", §4.2).
+func (p *Path) ExecEWMA() time.Duration { return p.execEWMA }
+
+// Executions reports how many executions have been charged.
+func (p *Path) Executions() int64 { return p.execN }
+
+func (p *Path) String() string {
+	s := fmt.Sprintf("path#%d[", p.PID)
+	for i, st := range p.stages {
+		if i > 0 {
+			s += "→"
+		}
+		s += st.Router.Name
+	}
+	return s + "]"
+}

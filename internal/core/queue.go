@@ -1,0 +1,129 @@
+package core
+
+// Queue is one of a path's four queues (§2.5). The paper deliberately leaves
+// the queuing discipline unspecified and defines only the current and
+// maximum length; this implementation is a FIFO ring with drop-on-full
+// semantics (what the ETH input queue needs) plus hooks the scheduler and
+// flow control attach to.
+type Queue struct {
+	items []any
+	head  int
+	n     int
+	max   int
+
+	enqueued int64
+	dropped  int64
+
+	// NotEmpty, when non-nil, is invoked after an enqueue into a
+	// previously empty queue; schedulers use it to wake the path's thread.
+	NotEmpty func()
+	// Drained, when non-nil, is invoked after a dequeue that empties the
+	// queue.
+	Drained func()
+}
+
+// NewQueue returns a queue holding at most max items; max must be positive.
+func NewQueue(max int) *Queue {
+	if max <= 0 {
+		panic("core: queue max must be positive")
+	}
+	return &Queue{items: make([]any, max), max: max}
+}
+
+// Enqueue appends item. It reports false — and counts a drop — when the
+// queue is full; early discard of work the path cannot use is one of the
+// paper's headline advantages, and it happens right here.
+func (q *Queue) Enqueue(item any) bool {
+	if q.n == q.max {
+		q.dropped++
+		return false
+	}
+	q.items[(q.head+q.n)%q.max] = item
+	q.n++
+	q.enqueued++
+	if q.n == 1 && q.NotEmpty != nil {
+		q.NotEmpty()
+	}
+	return true
+}
+
+// Dequeue removes and returns the oldest item, or nil when empty.
+func (q *Queue) Dequeue() any {
+	if q.n == 0 {
+		return nil
+	}
+	item := q.items[q.head]
+	q.items[q.head] = nil
+	q.head = (q.head + 1) % q.max
+	q.n--
+	if q.n == 0 && q.Drained != nil {
+		q.Drained()
+	}
+	return item
+}
+
+// Peek returns the oldest item without removing it, or nil when empty.
+func (q *Queue) Peek() any {
+	if q.n == 0 {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+// Len reports the current length — one of the two properties the paper
+// guarantees for any path queue.
+func (q *Queue) Len() int { return q.n }
+
+// Max reports the maximum length — the other guaranteed property.
+func (q *Queue) Max() int { return q.max }
+
+// Free reports the open slots; MFLOW advertises this as its window (§4.1).
+func (q *Queue) Free() int { return q.max - q.n }
+
+// Full reports whether an enqueue would drop.
+func (q *Queue) Full() bool { return q.n == q.max }
+
+// Empty reports whether the queue has no items.
+func (q *Queue) Empty() bool { return q.n == 0 }
+
+// Enqueued reports the total number of successful enqueues.
+func (q *Queue) Enqueued() int64 { return q.enqueued }
+
+// Dropped reports how many enqueues were refused because the queue was full.
+func (q *Queue) Dropped() int64 { return q.dropped }
+
+// Reset empties the queue and zeroes its counters.
+func (q *Queue) Reset() {
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.head, q.n = 0, 0
+	q.enqueued, q.dropped = 0, 0
+}
+
+// Queue indices within a path (§2.5: "For each direction, there is an input
+// and an output queue"). The input queue for direction d sits at the end
+// where d-traveling messages originate; the output queue at the end where
+// they terminate.
+const (
+	QInFWD  = 0 // input at End[0], feeds FWD execution
+	QOutFWD = 1 // output at End[1], holds FWD results
+	QInBWD  = 2 // input at End[1], feeds BWD execution
+	QOutBWD = 3 // output at End[0], holds BWD results
+)
+
+// QIn returns the input-queue index for direction d.
+func QIn(d Direction) int {
+	if d == FWD {
+		return QInFWD
+	}
+	return QInBWD
+}
+
+// QOut returns the output-queue index for direction d.
+func QOut(d Direction) int {
+	if d == FWD {
+		return QOutFWD
+	}
+	return QOutBWD
+}

@@ -1,0 +1,143 @@
+package display
+
+import (
+	"testing"
+	"time"
+
+	"scout/internal/core"
+	"scout/internal/sim"
+)
+
+func frame(seq int) *Frame { return &Frame{Seq: seq, W: 2, H: 2, Pixels: []byte{1, 2, 3, 4}} }
+
+func TestDisplaysQueuedFramesAtRate(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, nil, 320, 240, 60)
+	q := core.NewQueue(16)
+	s := d.Attach("v", q, time.Second/30, 10)
+	for i := 0; i < 10; i++ {
+		q.Enqueue(frame(i))
+	}
+	eng.RunUntil(sim.Time(time.Second))
+	if s.Displayed() != 10 || s.Missed() != 0 {
+		t.Fatalf("displayed=%d missed=%d", s.Displayed(), s.Missed())
+	}
+	if !s.Done() {
+		t.Fatal("sink not done after all frames")
+	}
+}
+
+func TestMissWhenQueueEmpty(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, nil, 320, 240, 60)
+	q := core.NewQueue(16)
+	s := d.Attach("v", q, time.Second/30, 5)
+	// Only 2 frames ever arrive.
+	q.Enqueue(frame(0))
+	q.Enqueue(frame(1))
+	eng.RunUntil(sim.Time(time.Second))
+	if s.Displayed() != 2 || s.Missed() != 3 {
+		t.Fatalf("displayed=%d missed=%d, want 2/3", s.Displayed(), s.Missed())
+	}
+}
+
+func TestLateFrameArrivalDisplaysNextSlot(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, nil, 320, 240, 30)
+	q := core.NewQueue(16)
+	s := d.Attach("v", q, time.Second/30, 2)
+	// First frame misses its ~33ms deadline; both frames arrive at 40ms.
+	eng.At(sim.Time(40*time.Millisecond), func() {
+		q.Enqueue(frame(0))
+		q.Enqueue(frame(1))
+	})
+	eng.RunUntil(sim.Time(200 * time.Millisecond))
+	if s.Missed() != 1 || s.Displayed() != 1 {
+		t.Fatalf("displayed=%d missed=%d, want 1/1", s.Displayed(), s.Missed())
+	}
+}
+
+func TestOnDrainWakes(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, nil, 320, 240, 60)
+	q := core.NewQueue(4)
+	s := d.Attach("v", q, time.Second/60, 4)
+	drains := 0
+	s.OnDrain = func() { drains++ }
+	for i := 0; i < 4; i++ {
+		q.Enqueue(frame(i))
+	}
+	eng.RunUntil(sim.Time(time.Second))
+	if drains != 4 {
+		t.Fatalf("drains = %d, want 4", drains)
+	}
+}
+
+func TestVsyncsCount(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, nil, 64, 64, 30)
+	eng.RunUntil(sim.Time(time.Second))
+	if d.Vsyncs() != 30 {
+		t.Fatalf("vsyncs = %d, want 30", d.Vsyncs())
+	}
+}
+
+func TestSlowStreamOnFastDisplay(t *testing.T) {
+	// 10 fps stream on a 60 Hz display: each frame is picked up at the
+	// first vsync after it falls due; no misses if frames are present.
+	eng := sim.New(1)
+	d := New(eng, nil, 64, 64, 60)
+	q := core.NewQueue(32)
+	s := d.Attach("v", q, time.Second/10, 10)
+	for i := 0; i < 10; i++ {
+		q.Enqueue(frame(i))
+	}
+	eng.RunUntil(sim.Time(2 * time.Second))
+	if s.Displayed() != 10 || s.Missed() != 0 {
+		t.Fatalf("displayed=%d missed=%d", s.Displayed(), s.Missed())
+	}
+}
+
+func TestBlitWritesFramebuffer(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, nil, 2, 2, 60)
+	q := core.NewQueue(4)
+	d.Attach("v", q, time.Second/60, 1)
+	q.Enqueue(&Frame{Seq: 0, W: 2, H: 2, Pixels: []byte{9, 8, 7, 6}})
+	eng.RunUntil(sim.Time(100 * time.Millisecond))
+	fb := d.Framebuffer()
+	if fb[0] != 9 || fb[3] != 6 {
+		t.Fatalf("framebuffer = %v", fb)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, nil, 64, 64, 60)
+	q := core.NewQueue(4)
+	s := d.Attach("v", q, time.Second/30, 0)
+	d.Detach(s)
+	q.Enqueue(frame(0))
+	eng.RunUntil(sim.Time(time.Second))
+	if s.Displayed() != 0 {
+		t.Fatal("detached sink serviced")
+	}
+}
+
+func TestMultipleSinksIndependent(t *testing.T) {
+	eng := sim.New(1)
+	d := New(eng, nil, 64, 64, 60)
+	q1, q2 := core.NewQueue(64), core.NewQueue(64)
+	s1 := d.Attach("a", q1, time.Second/30, 30)
+	s2 := d.Attach("b", q2, time.Second/10, 10)
+	for i := 0; i < 30; i++ {
+		q1.Enqueue(frame(i))
+	}
+	for i := 0; i < 10; i++ {
+		q2.Enqueue(frame(i))
+	}
+	eng.RunUntil(sim.Time(2 * time.Second))
+	if s1.Displayed() != 30 || s2.Displayed() != 10 || s1.Missed()+s2.Missed() != 0 {
+		t.Fatalf("s1=%v s2=%v", s1, s2)
+	}
+}

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"io"
+	"time"
+
+	"scout/internal/admission"
+	"scout/internal/appliance"
+	"scout/internal/core"
+	"scout/internal/display"
+	"scout/internal/host"
+	"scout/internal/mpeg"
+	"scout/internal/proto/inet"
+	"scout/internal/routers"
+)
+
+// AdmissionResult is the §4.4 experiment: (a) fit the bits→CPU model from
+// live path execution measurements and report its quality; (b) display
+// every third frame and measure how much CPU early packet discard saves
+// over decoding everything.
+type AdmissionResult struct {
+	Samples     int
+	R2          float64
+	SlopeNsBit  float64
+	InterceptUs float64
+
+	FullCPU      time.Duration // decode every frame
+	DecimatedCPU time.Duration // early-drop 2 of 3 frames at the adapter
+	EarlyDrops   int64
+	SavedFrac    float64
+}
+
+// RunAdmission runs both halves on a Neptune prefix.
+func RunAdmission(frames int) AdmissionResult {
+	if frames == 0 {
+		frames = 400
+	}
+	var res AdmissionResult
+
+	// (a) Correlation: observe per-frame (bits, cpu) from the running
+	// path, exactly as the paper proposes deriving the model parameters.
+	model := &admission.Model{}
+	full := playNeptune(frames, 1, model)
+	res.Samples = model.N()
+	res.R2 = model.R2()
+	res.SlopeNsBit = model.Slope()
+	res.InterceptUs = model.Intercept() / 1000
+	res.FullCPU = full.cpu
+
+	// (b) Early discard of skipped frames.
+	dec := playNeptune(frames, 3, nil)
+	res.DecimatedCPU = dec.cpu
+	res.EarlyDrops = dec.earlyDrops
+	if full.cpu > 0 {
+		res.SavedFrac = 1 - float64(dec.cpu)/float64(full.cpu)
+	}
+	return res
+}
+
+type playResult struct {
+	cpu        time.Duration
+	earlyDrops int64
+	displayed  int64
+}
+
+func playNeptune(frames, decimate int, model *admission.Model) playResult {
+	eng, link := newWorld(9)
+	k, err := bootScout(eng, link, false)
+	if err != nil {
+		panic(err)
+	}
+	if model != nil {
+		k.Display.OnFrameDone = func(p *core.Path, f *display.Frame, cpu time.Duration) {
+			model.Observe(float64(f.Bits), cpu)
+		}
+	}
+	clip := mpeg.Neptune
+	clip.Frames = frames
+	h := host.New(link, srcMAC, srcAddr)
+	fps := clip.FPS / decimate
+	va := &appliance.VideoAttrs{
+		Source:    inet.Participants{RemoteAddr: srcAddr, RemotePort: 7000},
+		FPS:       fps,
+		Frames:    frames / decimate,
+		CostModel: true,
+		QueueLen:  32,
+	}
+	p, lport, err := k.CreateVideoPath(va)
+	if err != nil {
+		panic(err)
+	}
+	if decimate > 1 {
+		// Install the early-discard filter the MPEG stage would install
+		// from PA_DECIMATE (set here post-creation to reuse one path
+		// creation flow for both runs).
+		p.EarlyDiscard = routers.DecimationFilter(decimate)
+	}
+	src, err := host.NewSource(h, host.SourceConfig{
+		Clip: clip, SrcPort: 7000, CostOnly: true, Seed: 17, // paced at native fps
+	})
+	if err != nil {
+		panic(err)
+	}
+	eng.At(0, func() { src.Start(k.Cfg.Addr, lport) })
+	runUntil(eng, 10*time.Minute, func() bool {
+		done, _ := src.Done()
+		if !done {
+			return false
+		}
+		// Let the pipeline drain.
+		return p.Q[core.QInBWD].Empty()
+	})
+	eng.RunFor(500 * time.Millisecond)
+	sink := k.Display.Sink(p, "DISPLAY")
+	return playResult{cpu: p.CPUTime(), earlyDrops: p.EarlyDiscards, displayed: sink.Displayed()}
+}
+
+// PrintAdmission renders the result.
+func PrintAdmission(w io.Writer, r AdmissionResult) {
+	fprintf(w, "§4.4: admission control\n")
+	fprintf(w, "bits→CPU model over %d frames: cpu ≈ %.1fµs + %.0f ns/bit, R² = %.3f\n",
+		r.Samples, r.InterceptUs, r.SlopeNsBit, r.R2)
+	fprintf(w, "(paper: 'good correlation between average frame size and decode CPU')\n")
+	fprintf(w, "early drop of skipped frames (display every 3rd):\n")
+	fprintf(w, "  full decode CPU %v, with early drop %v → %.0f%% saved (%d packets dropped at adapter)\n",
+		r.FullCPU, r.DecimatedCPU, r.SavedFrac*100, r.EarlyDrops)
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"scout/internal/appliance"
+	"scout/internal/host"
+	"scout/internal/mpeg"
+	"scout/internal/proto/inet"
+)
+
+// EDFRow is one configuration of the §4.3 scheduling experiment: 8 Canyon
+// movies at 10 fps plus one Neptune movie at 30 fps, under EDF or
+// single-priority round-robin, with a given per-path queue size. The paper
+// reports that EDF misses no deadlines while round-robin with 128-frame
+// queues misses on the order of 850 of Neptune's 1345.
+type EDFRow struct {
+	Sched    string
+	QueueLen int
+
+	NeptuneMissed, NeptuneTotal int64
+	CanyonMissed, CanyonTotal   int64
+}
+
+// EDFConfig bounds the experiment (full-length clips by default).
+type EDFConfig struct {
+	NeptuneFrames int // default 1345
+	CanyonFrames  int // default 1758
+	Canyons       int // default 8
+}
+
+// RunEDF runs the experiment for each scheduler × queue-size combination.
+func RunEDF(cfg EDFConfig, scheds []string, queueLens []int) []EDFRow {
+	if cfg.NeptuneFrames == 0 {
+		cfg.NeptuneFrames = mpeg.Neptune.Frames
+	}
+	if cfg.CanyonFrames == 0 {
+		cfg.CanyonFrames = mpeg.Canyon.Frames
+	}
+	if cfg.Canyons == 0 {
+		cfg.Canyons = 8
+	}
+	if scheds == nil {
+		scheds = []string{"edf", "rr"}
+	}
+	if queueLens == nil {
+		queueLens = []int{16, 32, 64, 128}
+	}
+	var rows []EDFRow
+	for _, sc := range scheds {
+		for _, ql := range queueLens {
+			rows = append(rows, runEDFOnce(cfg, sc, ql))
+		}
+	}
+	return rows
+}
+
+func runEDFOnce(cfg EDFConfig, sc string, queueLen int) EDFRow {
+	eng, link := newWorld(3)
+	k, err := bootScout(eng, link, false) // real 60 Hz display
+	if err != nil {
+		panic(err)
+	}
+
+	type stream struct {
+		clip   mpeg.ClipSpec
+		fps    int
+		sinkAt int // index into sinks
+	}
+	neptune := mpeg.Neptune
+	neptune.Frames = cfg.NeptuneFrames
+	canyon := mpeg.Canyon
+	canyon.Frames = cfg.CanyonFrames
+
+	streams := []stream{{clip: neptune, fps: 30}}
+	for i := 0; i < cfg.Canyons; i++ {
+		streams = append(streams, stream{clip: canyon, fps: 10})
+	}
+
+	row := EDFRow{Sched: sc, QueueLen: queueLen}
+	var sinks []*sinkRef
+	for i, st := range streams {
+		// Each stream gets its own source host (own MAC/IP) so ARP and
+		// UDP demux keys stay distinct.
+		mac := srcMAC
+		mac[5] = byte(0x40 + i)
+		addr := srcAddr
+		addr[3] = byte(100 + i)
+		h := host.New(link, mac, addr)
+		va := &appliance.VideoAttrs{
+			Source:    inet.Participants{RemoteAddr: addr, RemotePort: 7000},
+			FPS:       st.fps,
+			Frames:    st.clip.Frames,
+			CostModel: true,
+			QueueLen:  queueLen,
+			Sched:     sc,
+			Priority:  2, // single-priority RR: everyone at the default
+		}
+		p, lport, err := k.CreateVideoPath(va)
+		if err != nil {
+			panic(err)
+		}
+		src, err := host.NewSource(h, host.SourceConfig{
+			Clip: st.clip, SrcPort: 7000, CostOnly: true, MaxRate: true,
+			Seed: int64(21 + i),
+		})
+		if err != nil {
+			panic(err)
+		}
+		kAddr := k.Cfg.Addr
+		port := lport
+		eng.At(0, func() { src.Start(kAddr, port) })
+		sinks = append(sinks, &sinkRef{sink: k.Display.Sink(p, "DISPLAY"), neptune: i == 0})
+	}
+
+	// Run until the Neptune sink has accounted for every frame (display
+	// or miss); its clip is the shortest in wall-clock terms.
+	nep := sinks[0].sink
+	runUntil(eng, 30*time.Minute, nep.Done)
+	for _, sr := range sinks {
+		if sr.neptune {
+			row.NeptuneMissed += sr.sink.Missed()
+			row.NeptuneTotal += sr.sink.Displayed() + sr.sink.Missed()
+		} else {
+			row.CanyonMissed += sr.sink.Missed()
+			row.CanyonTotal += sr.sink.Displayed() + sr.sink.Missed()
+		}
+	}
+	return row
+}
+
+type sinkRef struct {
+	sink interface {
+		Missed() int64
+		Displayed() int64
+		Done() bool
+	}
+	neptune bool
+}
+
+// PrintEDF renders the sweep.
+func PrintEDF(w io.Writer, rows []EDFRow) {
+	fprintf(w, "§4.3: deadline misses, 8×Canyon@10fps + Neptune@30fps\n")
+	fprintf(w, "(paper: EDF misses none; single-priority RR with 128-frame queues\n")
+	fprintf(w, " misses ≈850 of Neptune's 1345)\n")
+	fprintf(w, "%-6s %6s | %14s | %14s\n", "sched", "qlen", "Neptune missed", "Canyon missed")
+	for _, r := range rows {
+		fprintf(w, "%-6s %6d | %7d/%6d | %7d/%6d\n",
+			r.Sched, r.QueueLen, r.NeptuneMissed, r.NeptuneTotal, r.CanyonMissed, r.CanyonTotal)
+	}
+}
+
+var _ = fmt.Sprintf

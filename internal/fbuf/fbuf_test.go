@@ -1,0 +1,166 @@
+package fbuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scout/internal/msg"
+)
+
+func TestGetGeometry(t *testing.T) {
+	p := NewPool(1500, 64, 0, 0)
+	m, err := p.Get(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", m.Len())
+	}
+	if m.Headroom() != 64 {
+		t.Fatalf("Headroom = %d, want 64", m.Headroom())
+	}
+}
+
+func TestGetTooBig(t *testing.T) {
+	p := NewPool(100, 0, 0, 0)
+	if _, err := p.Get(101); err == nil {
+		t.Fatal("oversized Get succeeded")
+	}
+}
+
+func TestPreallocServedFromFreelist(t *testing.T) {
+	p := NewPool(256, 16, 4, 0)
+	s := p.Stats()
+	if s.Created != 4 || s.Free != 4 {
+		t.Fatalf("after prealloc: %+v", s)
+	}
+	m, _ := p.Get(256)
+	s = p.Stats()
+	if s.Hits != 1 || s.Misses != 0 || s.Outstanding != 1 || s.Free != 3 {
+		t.Fatalf("after Get: %+v", s)
+	}
+	m.Free()
+	s = p.Stats()
+	if s.Free != 4 || s.Outstanding != 0 || s.Releases != 1 {
+		t.Fatalf("after Free: %+v", s)
+	}
+}
+
+func TestLimitEnforced(t *testing.T) {
+	p := NewPool(64, 0, 0, 2)
+	a, err := p.Get(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(64); err != ErrLimit {
+		t.Fatalf("third Get err = %v, want ErrLimit", err)
+	}
+	a.Free()
+	if _, err := p.Get(64); err != nil {
+		t.Fatalf("Get after Free err = %v", err)
+	}
+}
+
+func TestPreallocClampedToLimit(t *testing.T) {
+	p := NewPool(64, 0, 10, 3)
+	if s := p.Stats(); s.Created != 3 {
+		t.Fatalf("created = %d, want clamp to 3", s.Created)
+	}
+}
+
+func TestRecycleNoCopies(t *testing.T) {
+	msg.ResetStats()
+	p := NewPool(1500, 64, 1, 1)
+	for i := 0; i < 100; i++ {
+		m, err := p.Get(1400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Push(42) // headers fit in headroom
+		m.Free()
+	}
+	if re, ex, _ := msg.CopyStats(); re != 0 || ex != 0 {
+		t.Fatalf("copies on recycled path: realloc=%d explicit=%d", re, ex)
+	}
+	if s := p.Stats(); s.Created != 1 {
+		t.Fatalf("recycling created %d buffers, want 1", s.Created)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	p := NewPool(1000, 24, 5, 0)
+	if got := p.MemoryBytes(); got != 5*1024 {
+		t.Fatalf("MemoryBytes = %d, want %d", got, 5*1024)
+	}
+}
+
+func TestGrownBufferNotReturnedToFreelist(t *testing.T) {
+	p := NewPool(32, 0, 1, 0)
+	m, _ := p.Get(32)
+	m.Push(64) // forces realloc + detach; old buf returns, grown buf is private
+	m.Free()
+	s := p.Stats()
+	if s.Free != 1 {
+		t.Fatalf("freelist = %d, want 1 (only the original buffer)", s.Free)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero payload")
+		}
+	}()
+	NewPool(0, 0, 0, 0)
+}
+
+// Property: for any interleaving of gets and frees under a limit, the pool
+// never exceeds the limit and outstanding+free == created.
+func TestPropertyPoolAccounting(t *testing.T) {
+	f := func(ops []bool) bool {
+		const limit = 8
+		p := NewPool(128, 16, 0, limit)
+		var live []*msg.Msg
+		for _, get := range ops {
+			if get {
+				m, err := p.Get(128)
+				if err == ErrLimit {
+					if len(live) != limit {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				live = append(live, m)
+			} else if len(live) > 0 {
+				live[len(live)-1].Free()
+				live = live[:len(live)-1]
+			}
+			s := p.Stats()
+			if s.Created > limit || s.Outstanding+s.Free != s.Created || s.Outstanding != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGetFree(b *testing.B) {
+	p := NewPool(1500, 64, 8, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := p.Get(1400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Free()
+	}
+}

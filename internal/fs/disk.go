@@ -1,0 +1,123 @@
+// Package fs implements the storage side of the paper's Figure 3 router
+// graph — the web-server configuration whose paths run HTTP→TCP→IP→ETH on
+// one side and HTTP→VFS→UFS→SCSI on the other. It provides a simulated
+// SCSI disk with seek and transfer latency, a small UFS-like on-disk
+// filesystem (superblock, block bitmap, inode table, hierarchical
+// directories, direct and single-indirect blocks), and the Scout routers
+// that expose them through a file interface type.
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scout/internal/sim"
+)
+
+// BlockSize is the disk block size in bytes.
+const BlockSize = 4096
+
+// Disk is a simulated SCSI disk: requests are serialized, each paying a
+// seek (when discontiguous with the previous request) plus per-block
+// transfer time.
+type Disk struct {
+	eng    *sim.Engine
+	blocks int
+	data   []byte
+
+	// SeekTime is charged when a request does not continue the previous
+	// one; PerBlock is the transfer time per block.
+	SeekTime time.Duration
+	PerBlock time.Duration
+
+	freeAt    sim.Time
+	lastBlock int
+
+	Reads, Writes, Seeks int64
+}
+
+// NewDisk creates a disk of the given number of blocks with mid-90s SCSI
+// timing defaults (≈9ms seek, ≈4 MB/s transfer).
+func NewDisk(eng *sim.Engine, blocks int) *Disk {
+	if blocks <= 0 {
+		panic("fs: disk needs blocks")
+	}
+	return &Disk{
+		eng:       eng,
+		blocks:    blocks,
+		data:      make([]byte, blocks*BlockSize),
+		SeekTime:  9 * time.Millisecond,
+		PerBlock:  time.Duration(BlockSize) * time.Second / (4 << 20),
+		lastBlock: -100,
+	}
+}
+
+// Blocks reports the disk size in blocks.
+func (d *Disk) Blocks() int { return d.blocks }
+
+// ErrOutOfRange is returned for accesses beyond the disk.
+var ErrOutOfRange = errors.New("fs: block out of range")
+
+// latency advances the disk service clock for an n-block access at block b
+// and returns when the access completes.
+func (d *Disk) latency(b, n int) sim.Time {
+	now := d.eng.Now()
+	if d.freeAt < now {
+		d.freeAt = now
+	}
+	if b != d.lastBlock+1 {
+		d.Seeks++
+		d.freeAt = d.freeAt.Add(d.SeekTime)
+	}
+	d.freeAt = d.freeAt.Add(time.Duration(n) * d.PerBlock)
+	d.lastBlock = b + n - 1
+	return d.freeAt
+}
+
+// Read fetches n blocks starting at b; cb receives a copy of the data when
+// the simulated access completes.
+func (d *Disk) Read(b, n int, cb func(data []byte, err error)) {
+	if b < 0 || n < 1 || b+n > d.blocks {
+		d.eng.At(d.eng.Now(), func() { cb(nil, ErrOutOfRange) })
+		return
+	}
+	d.Reads++
+	done := d.latency(b, n)
+	out := make([]byte, n*BlockSize)
+	copy(out, d.data[b*BlockSize:(b+n)*BlockSize])
+	d.eng.At(done, func() { cb(out, nil) })
+}
+
+// Write stores data (must be a whole number of blocks) at block b; cb (may
+// be nil) fires on completion.
+func (d *Disk) Write(b int, data []byte, cb func(err error)) {
+	n := len(data) / BlockSize
+	if len(data)%BlockSize != 0 || b < 0 || n < 1 || b+n > d.blocks {
+		if cb != nil {
+			d.eng.At(d.eng.Now(), func() { cb(ErrOutOfRange) })
+		}
+		return
+	}
+	d.Writes++
+	done := d.latency(b, n)
+	copy(d.data[b*BlockSize:], data)
+	if cb != nil {
+		d.eng.At(done, func() { cb(nil) })
+	}
+}
+
+// peek reads a block synchronously for filesystem metadata kept hot in the
+// buffer cache (no latency charged; see the package comment in ufs.go).
+func (d *Disk) peek(b int) []byte {
+	return d.data[b*BlockSize : (b+1)*BlockSize]
+}
+
+// poke writes a block synchronously (metadata through the buffer cache).
+func (d *Disk) poke(b int, data []byte) {
+	copy(d.data[b*BlockSize:(b+1)*BlockSize], data)
+}
+
+func (d *Disk) String() string {
+	return fmt.Sprintf("disk(%d blocks, %d reads, %d writes, %d seeks)", d.blocks, d.Reads, d.Writes, d.Seeks)
+}

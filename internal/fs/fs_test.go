@@ -1,0 +1,267 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scout/internal/sim"
+)
+
+func newFS(t *testing.T) (*sim.Engine, *Disk, *FS) {
+	t.Helper()
+	eng := sim.New(1)
+	d := NewDisk(eng, 2048)
+	fsys, err := Mkfs(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, d, fsys
+}
+
+func readAll(t *testing.T, eng *sim.Engine, fsys *FS, path string) ([]byte, error) {
+	t.Helper()
+	var out []byte
+	var rerr error
+	done := false
+	fsys.ReadFile(path, func(data []byte, err error) {
+		out, rerr, done = data, err, true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("ReadFile callback never fired")
+	}
+	return out, rerr
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	eng, _, fsys := newFS(t)
+	data := bytes.Repeat([]byte("scout!"), 1000)
+	if err := fsys.WriteFile("/www/index.html", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, eng, fsys, "/www/index.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %d bytes, want %d (mismatch)", len(got), len(data))
+	}
+}
+
+func TestReadPaysDiskLatency(t *testing.T) {
+	eng, d, fsys := newFS(t)
+	data := make([]byte, 3*BlockSize)
+	if err := fsys.WriteFile("/big", data); err != nil {
+		t.Fatal(err)
+	}
+	start := eng.Now()
+	var doneAt sim.Time
+	fsys.ReadFile("/big", func([]byte, error) { doneAt = eng.Now() })
+	eng.Run()
+	min := d.SeekTime + 3*d.PerBlock
+	if got := doneAt.Sub(start); got < min {
+		t.Fatalf("3-block read took %v, want at least %v", got, min)
+	}
+}
+
+func TestContiguousFilePaysOneSeek(t *testing.T) {
+	eng, d, fsys := newFS(t)
+	if err := fsys.WriteFile("/seq", make([]byte, 8*BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	d.Seeks = 0
+	if _, err := readAll(t, eng, fsys, "/seq"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Seeks != 1 {
+		t.Fatalf("sequential read paid %d seeks, want 1", d.Seeks)
+	}
+}
+
+func TestMkdirAllAndList(t *testing.T) {
+	eng, _, fsys := newFS(t)
+	if err := fsys.WriteFile("/a/b/c/file.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fsys.List("/a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "file.txt" {
+		t.Fatalf("List = %v", names)
+	}
+	names, _ = fsys.List("/")
+	if len(names) != 1 || names[0] != "a" {
+		t.Fatalf("root List = %v", names)
+	}
+	_ = eng
+}
+
+func TestStat(t *testing.T) {
+	_, _, fsys := newFS(t)
+	fsys.WriteFile("/f", make([]byte, 100))
+	size, isDir, err := fsys.Stat("/f")
+	if err != nil || size != 100 || isDir {
+		t.Fatalf("Stat file = %d,%v,%v", size, isDir, err)
+	}
+	if _, isDir, err := fsys.Stat("/"); err != nil || !isDir {
+		t.Fatalf("Stat root = %v,%v", isDir, err)
+	}
+	if _, _, err := fsys.Stat("/missing"); err != ErrNotFound {
+		t.Fatalf("Stat missing = %v", err)
+	}
+}
+
+func TestOverwriteShrinks(t *testing.T) {
+	eng, _, fsys := newFS(t)
+	fsys.WriteFile("/f", bytes.Repeat([]byte{0xaa}, 2*BlockSize))
+	fsys.WriteFile("/f", []byte("short"))
+	got, err := readAll(t, eng, fsys, "/f")
+	if err != nil || string(got) != "short" {
+		t.Fatalf("after overwrite: %q, %v", got, err)
+	}
+}
+
+func TestIndirectBlocks(t *testing.T) {
+	eng := sim.New(1)
+	d := NewDisk(eng, 8192)
+	fsys, err := Mkfs(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bigger than 12 direct blocks: exercises the indirect block.
+	data := make([]byte, (numDirect+5)*BlockSize+123)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := fsys.WriteFile("/big", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, eng, fsys, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("indirect-block file corrupted")
+	}
+}
+
+func TestFileTooBig(t *testing.T) {
+	_, _, fsys := newFS(t)
+	if err := fsys.WriteFile("/huge", make([]byte, MaxFileSize+1)); err != ErrTooBig {
+		t.Fatalf("err = %v, want ErrTooBig", err)
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	eng := sim.New(1)
+	d := NewDisk(eng, 32) // tiny disk
+	fsys, err := Mkfs(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 64 && lastErr == nil; i++ {
+		lastErr = fsys.WriteFile("/f"+string(rune('a'+i)), make([]byte, BlockSize))
+	}
+	if lastErr != ErrNoSpace {
+		t.Fatalf("err = %v, want ErrNoSpace", lastErr)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	eng, _, fsys := newFS(t)
+	if _, err := readAll(t, eng, fsys, "/nope"); err != ErrNotFound {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadDirectoryFails(t *testing.T) {
+	eng, _, fsys := newFS(t)
+	fsys.MkdirAll("/d")
+	if _, err := readAll(t, eng, fsys, "/d"); err != ErrIsDir {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMountSeesExistingData(t *testing.T) {
+	eng, d, fsys := newFS(t)
+	fsys.WriteFile("/persist", []byte("hello"))
+	remounted, err := Mount(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, eng, remounted, "/persist")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("remount read %q, %v", got, err)
+	}
+}
+
+func TestMountRejectsGarbage(t *testing.T) {
+	eng := sim.New(1)
+	d := NewDisk(eng, 64)
+	if _, err := Mount(d); err != ErrBadFS {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDiskBounds(t *testing.T) {
+	eng := sim.New(1)
+	d := NewDisk(eng, 8)
+	var gotErr error
+	d.Read(7, 2, func(_ []byte, err error) { gotErr = err })
+	eng.Run()
+	if gotErr != ErrOutOfRange {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestDiskSerializesRequests(t *testing.T) {
+	eng := sim.New(1)
+	d := NewDisk(eng, 64)
+	var first, second sim.Time
+	d.Read(10, 1, func([]byte, error) { first = eng.Now() })
+	d.Read(40, 1, func([]byte, error) { second = eng.Now() })
+	eng.Run()
+	if second <= first {
+		t.Fatalf("second request (%v) did not queue behind first (%v)", second, first)
+	}
+	// Two discontiguous reads: two seeks.
+	if d.Seeks != 2 {
+		t.Fatalf("seeks = %d, want 2", d.Seeks)
+	}
+}
+
+// Property: write then read returns identical bytes for arbitrary sizes.
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	f := func(raw []byte, sz uint16) bool {
+		eng := sim.New(1)
+		d := NewDisk(eng, 1024)
+		fsys, err := Mkfs(d, 4)
+		if err != nil {
+			return false
+		}
+		n := int(sz) % (3 * BlockSize)
+		data := make([]byte, n)
+		for i := range data {
+			if len(raw) > 0 {
+				data[i] = raw[i%len(raw)]
+			}
+		}
+		if err := fsys.WriteFile("/p", data); err != nil {
+			return false
+		}
+		var got []byte
+		var rerr error
+		fsys.ReadFile("/p", func(b []byte, err error) { got, rerr = b, err })
+		eng.Run()
+		return rerr == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = time.Second

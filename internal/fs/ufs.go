@@ -1,0 +1,561 @@
+package fs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The UFS-like filesystem: superblock, block bitmap, inode table,
+// hierarchical directories, 12 direct block pointers plus one
+// single-indirect block per inode.
+//
+// Simplification (recorded in DESIGN.md): metadata traversal (directory
+// lookup, inode fetch, allocation) reads and writes the disk image through
+// a synchronous buffer-cache view without charging latency — the steady
+// state of a warmed cache. File DATA transfers go through the asynchronous
+// disk model and pay full seek/transfer costs, which is what the web-path
+// experiment measures.
+
+const (
+	magic       = 0x53465355 // "USFS"
+	inodeSize   = 64
+	inodesPerBk = BlockSize / inodeSize
+	numDirect   = 12
+	ptrsPerBk   = BlockSize / 4
+	dirEntSize  = 64
+	maxNameLen  = dirEntSize - 6
+)
+
+// Inode modes.
+const (
+	ModeFile = 1
+	ModeDir  = 2
+)
+
+// Errors.
+var (
+	ErrNotFound    = errors.New("fs: not found")
+	ErrExists      = errors.New("fs: already exists")
+	ErrNotDir      = errors.New("fs: not a directory")
+	ErrIsDir       = errors.New("fs: is a directory")
+	ErrNoSpace     = errors.New("fs: out of space")
+	ErrNoInodes    = errors.New("fs: out of inodes")
+	ErrNameTooLong = errors.New("fs: name too long")
+	ErrTooBig      = errors.New("fs: file exceeds maximum size")
+	ErrBadFS       = errors.New("fs: bad filesystem")
+)
+
+// MaxFileSize is the largest file the inode geometry can describe.
+const MaxFileSize = (numDirect + ptrsPerBk) * BlockSize
+
+type inode struct {
+	Mode     uint16
+	Nlink    uint16
+	Size     uint32
+	Direct   [numDirect]uint32
+	Indirect uint32
+}
+
+func (in *inode) put(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], in.Mode)
+	binary.BigEndian.PutUint16(b[2:4], in.Nlink)
+	binary.BigEndian.PutUint32(b[4:8], in.Size)
+	for i, d := range in.Direct {
+		binary.BigEndian.PutUint32(b[8+i*4:], d)
+	}
+	binary.BigEndian.PutUint32(b[8+numDirect*4:], in.Indirect)
+}
+
+func parseInode(b []byte) inode {
+	var in inode
+	in.Mode = binary.BigEndian.Uint16(b[0:2])
+	in.Nlink = binary.BigEndian.Uint16(b[2:4])
+	in.Size = binary.BigEndian.Uint32(b[4:8])
+	for i := range in.Direct {
+		in.Direct[i] = binary.BigEndian.Uint32(b[8+i*4:])
+	}
+	in.Indirect = binary.BigEndian.Uint32(b[8+numDirect*4:])
+	return in
+}
+
+// FS is a mounted filesystem.
+type FS struct {
+	d           *Disk
+	bitmapStart int
+	bitmapBlks  int
+	inodeStart  int
+	inodeBlks   int
+	dataStart   int
+	allocCursor int
+	rootIno     uint32
+}
+
+// Mkfs formats the disk and mounts the result. inodeBlks sizes the inode
+// table (each block holds 64 inodes).
+func Mkfs(d *Disk, inodeBlks int) (*FS, error) {
+	if inodeBlks < 1 {
+		inodeBlks = 4
+	}
+	bitmapBlks := (d.Blocks() + BlockSize*8 - 1) / (BlockSize * 8)
+	fs := &FS{
+		d:           d,
+		bitmapStart: 1,
+		bitmapBlks:  bitmapBlks,
+		inodeStart:  1 + bitmapBlks,
+		inodeBlks:   inodeBlks,
+		dataStart:   1 + bitmapBlks + inodeBlks,
+	}
+	if fs.dataStart >= d.Blocks() {
+		return nil, ErrNoSpace
+	}
+	fs.allocCursor = fs.dataStart
+	// Superblock.
+	sb := make([]byte, BlockSize)
+	binary.BigEndian.PutUint32(sb[0:4], magic)
+	binary.BigEndian.PutUint32(sb[4:8], uint32(d.Blocks()))
+	binary.BigEndian.PutUint32(sb[8:12], uint32(bitmapBlks))
+	binary.BigEndian.PutUint32(sb[12:16], uint32(inodeBlks))
+	d.poke(0, sb)
+	// Zero bitmap and inode table; mark metadata blocks used.
+	zero := make([]byte, BlockSize)
+	for b := fs.bitmapStart; b < fs.dataStart; b++ {
+		d.poke(b, zero)
+	}
+	for b := 0; b < fs.dataStart; b++ {
+		fs.setUsed(b, true)
+	}
+	// Root directory: inode 1 (0 is reserved as "nil").
+	root := inode{Mode: ModeDir, Nlink: 1}
+	fs.writeInode(1, &root)
+	fs.rootIno = 1
+	return fs, nil
+}
+
+// Mount reads the superblock of a previously formatted disk.
+func Mount(d *Disk) (*FS, error) {
+	sb := d.peek(0)
+	if binary.BigEndian.Uint32(sb[0:4]) != magic {
+		return nil, ErrBadFS
+	}
+	bitmapBlks := int(binary.BigEndian.Uint32(sb[8:12]))
+	inodeBlks := int(binary.BigEndian.Uint32(sb[12:16]))
+	fs := &FS{
+		d:           d,
+		bitmapStart: 1,
+		bitmapBlks:  bitmapBlks,
+		inodeStart:  1 + bitmapBlks,
+		inodeBlks:   inodeBlks,
+		dataStart:   1 + bitmapBlks + inodeBlks,
+		rootIno:     1,
+	}
+	fs.allocCursor = fs.dataStart
+	return fs, nil
+}
+
+// --- bitmap and inode helpers (buffer-cache, synchronous) ---
+
+func (fs *FS) setUsed(block int, used bool) {
+	bk := fs.bitmapStart + block/(BlockSize*8)
+	off := block % (BlockSize * 8)
+	b := fs.d.peek(bk)
+	if used {
+		b[off/8] |= 1 << (off % 8)
+	} else {
+		b[off/8] &^= 1 << (off % 8)
+	}
+}
+
+func (fs *FS) isUsed(block int) bool {
+	bk := fs.bitmapStart + block/(BlockSize*8)
+	off := block % (BlockSize * 8)
+	return fs.d.peek(bk)[off/8]&(1<<(off%8)) != 0
+}
+
+// allocBlock finds a free block near the cursor (keeps files contiguous).
+func (fs *FS) allocBlock() (int, error) {
+	span := fs.d.Blocks() - fs.dataStart
+	if span <= 0 {
+		return 0, ErrNoSpace
+	}
+	base := fs.allocCursor - fs.dataStart
+	for i := 0; i < span; i++ {
+		b := fs.dataStart + (base+i)%span
+		if !fs.isUsed(b) {
+			fs.setUsed(b, true)
+			fs.allocCursor = b + 1
+			if fs.allocCursor >= fs.d.Blocks() {
+				fs.allocCursor = fs.dataStart
+			}
+			return b, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+func (fs *FS) maxInodes() int { return fs.inodeBlks * inodesPerBk }
+
+func (fs *FS) readInode(ino uint32) (inode, error) {
+	if ino == 0 || int(ino) >= fs.maxInodes() {
+		return inode{}, ErrNotFound
+	}
+	bk := fs.inodeStart + int(ino)/inodesPerBk
+	off := (int(ino) % inodesPerBk) * inodeSize
+	return parseInode(fs.d.peek(bk)[off : off+inodeSize]), nil
+}
+
+func (fs *FS) writeInode(ino uint32, in *inode) {
+	bk := fs.inodeStart + int(ino)/inodesPerBk
+	off := (int(ino) % inodesPerBk) * inodeSize
+	in.put(fs.d.peek(bk)[off : off+inodeSize])
+}
+
+func (fs *FS) allocInode() (uint32, error) {
+	for ino := uint32(2); int(ino) < fs.maxInodes(); ino++ {
+		in, err := fs.readInode(ino)
+		if err != nil {
+			return 0, err
+		}
+		if in.Mode == 0 {
+			return ino, nil
+		}
+	}
+	return 0, ErrNoInodes
+}
+
+// blockOf returns the disk block holding file block index i of in,
+// allocating when alloc is set.
+func (fs *FS) blockOf(in *inode, i int, alloc bool) (int, error) {
+	if i < numDirect {
+		if in.Direct[i] == 0 {
+			if !alloc {
+				return 0, ErrNotFound
+			}
+			b, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			in.Direct[i] = uint32(b)
+		}
+		return int(in.Direct[i]), nil
+	}
+	i -= numDirect
+	if i >= ptrsPerBk {
+		return 0, ErrTooBig
+	}
+	if in.Indirect == 0 {
+		if !alloc {
+			return 0, ErrNotFound
+		}
+		b, err := fs.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		in.Indirect = uint32(b)
+		fs.d.poke(b, make([]byte, BlockSize))
+	}
+	ind := fs.d.peek(int(in.Indirect))
+	ptr := binary.BigEndian.Uint32(ind[i*4:])
+	if ptr == 0 {
+		if !alloc {
+			return 0, ErrNotFound
+		}
+		b, err := fs.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		binary.BigEndian.PutUint32(ind[i*4:], uint32(b))
+		ptr = uint32(b)
+	}
+	return int(ptr), nil
+}
+
+// --- directories ---
+
+func splitPath(path string) []string {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" && p != "." {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// dirLookup finds name in directory ino.
+func (fs *FS) dirLookup(dir *inode, name string) (uint32, bool) {
+	for off := 0; off < int(dir.Size); off += dirEntSize {
+		bk, err := fs.blockOf(dir, off/BlockSize, false)
+		if err != nil {
+			return 0, false
+		}
+		ent := fs.d.peek(bk)[off%BlockSize : off%BlockSize+dirEntSize]
+		ino := binary.BigEndian.Uint32(ent[0:4])
+		nl := int(binary.BigEndian.Uint16(ent[4:6]))
+		if ino != 0 && string(ent[6:6+nl]) == name {
+			return ino, true
+		}
+	}
+	return 0, false
+}
+
+// dirAdd appends an entry to directory (dirIno, dir).
+func (fs *FS) dirAdd(dirIno uint32, dir *inode, name string, ino uint32) error {
+	if len(name) > maxNameLen {
+		return ErrNameTooLong
+	}
+	off := int(dir.Size)
+	bk, err := fs.blockOf(dir, off/BlockSize, true)
+	if err != nil {
+		return err
+	}
+	ent := make([]byte, dirEntSize)
+	binary.BigEndian.PutUint32(ent[0:4], ino)
+	binary.BigEndian.PutUint16(ent[4:6], uint16(len(name)))
+	copy(ent[6:], name)
+	copy(fs.d.peek(bk)[off%BlockSize:], ent)
+	dir.Size += dirEntSize
+	fs.writeInode(dirIno, dir)
+	return nil
+}
+
+// walk resolves path to (parent inode number, leaf name, leaf inode number).
+// The leaf may be absent (ino 0).
+func (fs *FS) walk(path string) (parent uint32, name string, ino uint32, err error) {
+	parts := splitPath(path)
+	cur := fs.rootIno
+	if len(parts) == 0 {
+		return 0, "", cur, nil
+	}
+	for i, p := range parts {
+		in, err := fs.readInode(cur)
+		if err != nil {
+			return 0, "", 0, err
+		}
+		if in.Mode != ModeDir {
+			return 0, "", 0, ErrNotDir
+		}
+		child, ok := fs.dirLookup(&in, p)
+		if i == len(parts)-1 {
+			if !ok {
+				return cur, p, 0, nil
+			}
+			return cur, p, child, nil
+		}
+		if !ok {
+			return 0, "", 0, ErrNotFound
+		}
+		cur = child
+	}
+	panic("unreachable")
+}
+
+// Mkdir creates a directory (parents must exist).
+func (fs *FS) Mkdir(path string) error {
+	parent, name, ino, err := fs.walk(path)
+	if err != nil {
+		return err
+	}
+	if ino != 0 {
+		return ErrExists
+	}
+	newIno, err := fs.allocInode()
+	if err != nil {
+		return err
+	}
+	fs.writeInode(newIno, &inode{Mode: ModeDir, Nlink: 1})
+	pin, err := fs.readInode(parent)
+	if err != nil {
+		return err
+	}
+	return fs.dirAdd(parent, &pin, name, newIno)
+}
+
+// MkdirAll creates path and any missing parents.
+func (fs *FS) MkdirAll(path string) error {
+	parts := splitPath(path)
+	cur := ""
+	for _, p := range parts {
+		cur += "/" + p
+		if err := fs.Mkdir(cur); err != nil && err != ErrExists {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile creates (or replaces) a file with the given contents, creating
+// parent directories as needed. Data lands on the disk image immediately
+// (write-behind cache); the disk's write counters advance.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	if len(data) > MaxFileSize {
+		return ErrTooBig
+	}
+	if dir := parentDir(path); dir != "" {
+		if err := fs.MkdirAll(dir); err != nil {
+			return err
+		}
+	}
+	parent, name, ino, err := fs.walk(path)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		return ErrIsDir
+	}
+	var in inode
+	if ino == 0 {
+		ino, err = fs.allocInode()
+		if err != nil {
+			return err
+		}
+		in = inode{Mode: ModeFile, Nlink: 1}
+		fs.writeInode(ino, &in)
+		pin, err := fs.readInode(parent)
+		if err != nil {
+			return err
+		}
+		if err := fs.dirAdd(parent, &pin, name, ino); err != nil {
+			return err
+		}
+	} else {
+		in, err = fs.readInode(ino)
+		if err != nil {
+			return err
+		}
+		if in.Mode != ModeFile {
+			return ErrIsDir
+		}
+	}
+	in.Size = uint32(len(data))
+	for off := 0; off < len(data); off += BlockSize {
+		bk, err := fs.blockOf(&in, off/BlockSize, true)
+		if err != nil {
+			return err
+		}
+		blk := make([]byte, BlockSize)
+		copy(blk, data[off:])
+		fs.d.poke(bk, blk)
+		fs.d.Writes++
+	}
+	fs.writeInode(ino, &in)
+	return nil
+}
+
+func parentDir(path string) string {
+	parts := splitPath(path)
+	if len(parts) <= 1 {
+		return ""
+	}
+	return strings.Join(parts[:len(parts)-1], "/")
+}
+
+// Stat reports a path's size and whether it is a directory.
+func (fs *FS) Stat(path string) (size int, isDir bool, err error) {
+	_, _, ino, err := fs.walk(path)
+	if err != nil {
+		return 0, false, err
+	}
+	if ino == 0 {
+		return 0, false, ErrNotFound
+	}
+	in, err := fs.readInode(ino)
+	if err != nil {
+		return 0, false, err
+	}
+	return int(in.Size), in.Mode == ModeDir, nil
+}
+
+// List returns the sorted names in a directory.
+func (fs *FS) List(path string) ([]string, error) {
+	_, _, ino, err := fs.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if ino == 0 {
+		return nil, ErrNotFound
+	}
+	in, err := fs.readInode(ino)
+	if err != nil {
+		return nil, err
+	}
+	if in.Mode != ModeDir {
+		return nil, ErrNotDir
+	}
+	var names []string
+	for off := 0; off < int(in.Size); off += dirEntSize {
+		bk, err := fs.blockOf(&in, off/BlockSize, false)
+		if err != nil {
+			return nil, err
+		}
+		ent := fs.d.peek(bk)[off%BlockSize : off%BlockSize+dirEntSize]
+		if e := binary.BigEndian.Uint32(ent[0:4]); e != 0 {
+			nl := int(binary.BigEndian.Uint16(ent[4:6]))
+			names = append(names, string(ent[6:6+nl]))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile fetches a file's contents through the disk model; cb fires when
+// the last block transfer completes, with the data trimmed to the file
+// size. Blocks are requested in order, so contiguously allocated files pay
+// one seek.
+func (fs *FS) ReadFile(path string, cb func(data []byte, err error)) {
+	fail := func(err error) {
+		fs.d.eng.At(fs.d.eng.Now(), func() { cb(nil, err) })
+	}
+	_, _, ino, err := fs.walk(path)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if ino == 0 {
+		fail(ErrNotFound)
+		return
+	}
+	in, err := fs.readInode(ino)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if in.Mode != ModeFile {
+		fail(ErrIsDir)
+		return
+	}
+	size := int(in.Size)
+	if size == 0 {
+		fs.d.eng.At(fs.d.eng.Now(), func() { cb(nil, nil) })
+		return
+	}
+	nblocks := (size + BlockSize - 1) / BlockSize
+	out := make([]byte, 0, nblocks*BlockSize)
+	var step func(i int)
+	step = func(i int) {
+		bk, err := fs.blockOf(&in, i, false)
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		fs.d.Read(bk, 1, func(data []byte, err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			out = append(out, data...)
+			if i+1 < nblocks {
+				step(i + 1)
+				return
+			}
+			cb(out[:size], nil)
+		})
+	}
+	step(0)
+}
+
+func (fs *FS) String() string {
+	return fmt.Sprintf("ufs(data from block %d of %d)", fs.dataStart, fs.d.Blocks())
+}

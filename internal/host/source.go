@@ -1,0 +1,196 @@
+package host
+
+import (
+	"fmt"
+	"time"
+
+	"scout/internal/mpeg"
+	"scout/internal/proto/inet"
+	"scout/internal/proto/mflow"
+	"scout/internal/sim"
+)
+
+// SourceConfig parameterizes an MPEG video source.
+type SourceConfig struct {
+	Clip    mpeg.ClipSpec
+	SrcPort uint16
+
+	// CostOnly sends trace packets (valid ALF headers, synthetic payload
+	// bytes sized from the clip trace) instead of really encoded video.
+	CostOnly bool
+	// RealFrames bounds how many frames are encoded in real mode (0 = the
+	// whole clip; encoding is expensive, tests use short prefixes).
+	RealFrames int
+	// QScale and SearchRange configure the real encoder.
+	QScale, SearchRange int
+
+	// MaxRate ignores the clip frame rate and sends as fast as flow
+	// control allows — how Table 1's "maximum decoding rate" is driven.
+	MaxRate bool
+	// FPS overrides the clip's native rate for paced sending (0 = native).
+	FPS int
+
+	// InitialWindow is the flow-control credit assumed before the first
+	// advertisement arrives (default 16 packets).
+	InitialWindow uint32
+
+	// PayloadBudget bounds ALF packet payloads (default: MTU-fitting).
+	PayloadBudget int
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// Source streams one clip to a Scout MPEG path, honouring MFLOW's window
+// advertisements and measuring RTT from echoed timestamps (§4.2).
+type Source struct {
+	h   *Host
+	cfg SourceConfig
+
+	dst     inet.Addr
+	dstPort uint16
+
+	packets  [][]byte // marshalled ALF packets, in order
+	frameOf  []int    // frame index of each packet
+	next     int
+	seq      uint32
+	win      uint32
+	started  sim.Time
+	waitTick *sim.Event
+
+	done   bool
+	doneAt sim.Time
+
+	AcksReceived int64
+	PacketsSent  int64
+	RTTEWMA      time.Duration
+}
+
+// NewSource prepares the clip data. Real-mode encoding happens here, once.
+func NewSource(h *Host, cfg SourceConfig) (*Source, error) {
+	if cfg.SrcPort == 0 {
+		return nil, fmt.Errorf("host: source needs a SrcPort")
+	}
+	if cfg.InitialWindow == 0 {
+		cfg.InitialWindow = 16
+	}
+	s := &Source{h: h, cfg: cfg, win: cfg.InitialWindow}
+	clip := cfg.Clip
+	if cfg.CostOnly {
+		mbw, mbh := clip.W/16, clip.H/16
+		for fno, info := range clip.Trace(cfg.Seed) {
+			for _, p := range mpeg.TracePackets(uint32(fno), info, mbw, mbh, cfg.PayloadBudget) {
+				s.packets = append(s.packets, p.Marshal())
+				s.frameOf = append(s.frameOf, fno)
+			}
+		}
+	} else {
+		qs := cfg.QScale
+		if qs == 0 {
+			qs = 3
+		}
+		sr := cfg.SearchRange
+		if sr == 0 {
+			sr = 4
+		}
+		enc, err := mpeg.NewEncoder(mpeg.EncoderConfig{
+			W: clip.W, H: clip.H, GOP: clip.GOP, QScale: qs,
+			SearchRange: sr, PayloadBudget: cfg.PayloadBudget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		scene := mpeg.NewScene(clip.Scene)
+		n := clip.Frames
+		if cfg.RealFrames > 0 && cfg.RealFrames < n {
+			n = cfg.RealFrames
+		}
+		for fno := 0; fno < n; fno++ {
+			pkts, _ := enc.Encode(scene.Frame(fno))
+			for _, p := range pkts {
+				s.packets = append(s.packets, p.Marshal())
+				s.frameOf = append(s.frameOf, fno)
+			}
+		}
+	}
+	return s, nil
+}
+
+// NumPackets reports how many packets the source will send.
+func (s *Source) NumPackets() int { return len(s.packets) }
+
+// NumFrames reports how many frames the prepared stream has.
+func (s *Source) NumFrames() int {
+	if len(s.frameOf) == 0 {
+		return 0
+	}
+	return s.frameOf[len(s.frameOf)-1] + 1
+}
+
+// Done reports whether every packet has been sent, and when.
+func (s *Source) Done() (bool, sim.Time) { return s.done, s.doneAt }
+
+// Start begins streaming to the Scout host's video port.
+func (s *Source) Start(dst inet.Addr, dstPort uint16) {
+	s.dst = dst
+	s.dstPort = dstPort
+	s.started = s.h.eng.Now()
+	s.h.OnUDP(s.cfg.SrcPort, s.onAck)
+	s.trySend()
+}
+
+// onAck processes an MFLOW window advertisement.
+func (s *Source) onAck(src inet.Participants, payload []byte) {
+	h, err := mflow.Parse(payload)
+	if err != nil || h.Kind != mflow.KindAck {
+		return
+	}
+	s.AcksReceived++
+	if h.Win > s.win {
+		s.win = h.Win
+	}
+	if h.TS > 0 {
+		rtt := s.h.eng.Now().Sub(sim.Time(h.TS))
+		if s.RTTEWMA == 0 {
+			s.RTTEWMA = rtt
+		} else {
+			s.RTTEWMA += (rtt - s.RTTEWMA) / 8
+		}
+	}
+	s.trySend()
+}
+
+// trySend transmits every packet the window (and pacing) currently allows.
+func (s *Source) trySend() {
+	if s.done {
+		return
+	}
+	fps := s.cfg.FPS
+	if fps == 0 {
+		fps = s.cfg.Clip.FPS
+	}
+	for s.next < len(s.packets) && s.seq+1 <= s.win {
+		if !s.cfg.MaxRate {
+			due := s.started.Add(time.Duration(s.frameOf[s.next]) * time.Second / time.Duration(fps))
+			now := s.h.eng.Now()
+			if now < due {
+				if s.waitTick != nil {
+					s.waitTick.Cancel()
+				}
+				s.waitTick = s.h.eng.At(due, s.trySend)
+				return
+			}
+		}
+		s.seq++
+		alf := s.packets[s.next]
+		payload := make([]byte, mflow.HeaderLen+len(alf))
+		mflow.Header{Kind: mflow.KindData, Seq: s.seq, TS: int64(s.h.eng.Now())}.Put(payload[:mflow.HeaderLen])
+		copy(payload[mflow.HeaderLen:], alf)
+		s.h.SendUDP(s.dst, s.dstPort, s.cfg.SrcPort, payload)
+		s.PacketsSent++
+		s.next++
+	}
+	if s.next == len(s.packets) {
+		s.done = true
+		s.doneAt = s.h.eng.Now()
+	}
+}

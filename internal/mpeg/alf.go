@@ -1,0 +1,113 @@
+package mpeg
+
+// HeaderDecoder tracks ALF frame assembly from packet headers alone,
+// without touching pixel data. The experiment harness uses it for
+// cost-model runs, where packets carry synthetic payloads of the right size
+// (generated from the clip traces) and decode cost is charged from the
+// calibrated bits→CPU model rather than spent decoding (see DESIGN.md).
+// Its assembly semantics mirror Decoder exactly: frames complete when all
+// macroblocks arrive, a newer frame flushes an incomplete one, stale
+// packets are rejected.
+type HeaderDecoder struct {
+	frameNo uint32
+	minNext uint32
+	started bool
+	gotMB   int
+	bits    int
+	kind    FrameKind
+
+	FramesOut  int64
+	Incomplete int64
+	PacketsIn  int64
+}
+
+// TraceFrame summarizes one assembled frame.
+type TraceFrame struct {
+	No       uint32
+	Kind     FrameKind
+	Bits     int
+	Complete bool
+}
+
+// Consume processes one packet header. It returns a non-nil frame when a
+// frame finished (completely, or flushed incomplete by a newer one).
+func (d *HeaderDecoder) Consume(p *Packet) (*TraceFrame, error) {
+	d.PacketsIn++
+	if p.FrameNo < d.minNext {
+		return nil, ErrStale
+	}
+	var out *TraceFrame
+	if d.started && p.FrameNo != d.frameNo {
+		d.Incomplete++
+		f := d.finish(false)
+		out = &f
+	}
+	if !d.started {
+		d.started = true
+		d.frameNo = p.FrameNo
+		d.gotMB = 0
+		d.bits = 0
+		d.kind = p.Kind
+	}
+	d.gotMB += int(p.MBCount)
+	d.bits += len(p.Data) * 8
+	if d.gotMB >= int(p.TotalMB) {
+		f := d.finish(true)
+		out = &f
+	}
+	return out, nil
+}
+
+func (d *HeaderDecoder) finish(complete bool) TraceFrame {
+	d.started = false
+	d.minNext = d.frameNo + 1
+	d.FramesOut++
+	return TraceFrame{No: d.frameNo, Kind: d.kind, Bits: d.bits, Complete: complete}
+}
+
+// TracePackets expands a traced frame into ALF packets with synthetic
+// payloads: the frame's bits are spread over MTU-budget packets with valid
+// headers, so the whole network path (including UDP checksums) is exercised
+// while pixel decode is replaced by the cost model.
+func TracePackets(frameNo uint32, info FrameInfo, mbw, mbh, payloadBudget int) []*Packet {
+	if payloadBudget <= 0 {
+		payloadBudget = DefaultPayloadBudget
+	}
+	total := mbw * mbh
+	bytes := info.Bits / 8
+	if bytes < 1 {
+		bytes = 1
+	}
+	n := (bytes + payloadBudget - 1) / payloadBudget
+	if n > total {
+		n = total // at least one macroblock per packet
+	}
+	if n < 1 {
+		n = 1
+	}
+	pkts := make([]*Packet, 0, n)
+	mbStart := 0
+	for i := 0; i < n; i++ {
+		sz := bytes / n
+		if i == n-1 {
+			sz = bytes - sz*(n-1)
+		}
+		mbs := total / n
+		if i == n-1 {
+			mbs = total - mbStart
+		}
+		pkts = append(pkts, &Packet{
+			FrameNo: frameNo,
+			Kind:    info.Kind,
+			QScale:  1,
+			MBW:     uint8(mbw),
+			MBH:     uint8(mbh),
+			MBStart: uint16(mbStart),
+			MBCount: uint16(mbs),
+			TotalMB: uint16(total),
+			Data:    make([]byte, sz),
+		})
+		mbStart += mbs
+	}
+	return pkts
+}

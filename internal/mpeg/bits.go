@@ -1,0 +1,127 @@
+package mpeg
+
+import "errors"
+
+// ErrBitstream is returned when a packet's entropy-coded payload is
+// malformed or truncated.
+var ErrBitstream = errors.New("mpeg: corrupt bitstream")
+
+// BitWriter assembles an MSB-first bitstream.
+type BitWriter struct {
+	buf  []byte
+	cur  uint32
+	nbit uint
+}
+
+// WriteBits appends the low n bits of v (n <= 24 per call).
+func (w *BitWriter) WriteBits(v uint32, n uint) {
+	if n > 24 {
+		panic("mpeg: WriteBits > 24")
+	}
+	w.cur = w.cur<<n | (v & (1<<n - 1))
+	w.nbit += n
+	for w.nbit >= 8 {
+		w.nbit -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nbit))
+	}
+}
+
+// WriteGamma appends v >= 1 as an Elias-gamma code.
+func (w *BitWriter) WriteGamma(v uint32) {
+	if v == 0 {
+		panic("mpeg: gamma code requires v >= 1")
+	}
+	nb := uint(0)
+	for t := v; t > 1; t >>= 1 {
+		nb++
+	}
+	w.WriteBits(0, nb)           // nb zeros
+	w.WriteBits(1, 1)            // marker
+	w.WriteBits(v&(1<<nb-1), nb) // low bits
+}
+
+// WriteSGamma appends a signed value as gamma(|v|*2 + sign) with 0 allowed.
+func (w *BitWriter) WriteSGamma(v int32) {
+	if v >= 0 {
+		w.WriteGamma(uint32(v)*2 + 1)
+	} else {
+		w.WriteGamma(uint32(-v) * 2)
+	}
+}
+
+// Bytes flushes any partial byte (zero-padded) and returns the stream.
+func (w *BitWriter) Bytes() []byte {
+	if w.nbit > 0 {
+		pad := 8 - w.nbit
+		w.cur <<= pad
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// Len reports the current length in bits.
+func (w *BitWriter) Len() int { return len(w.buf)*8 + int(w.nbit) }
+
+// BitReader consumes an MSB-first bitstream.
+type BitReader struct {
+	buf []byte
+	pos int  // byte position
+	bit uint // bits consumed of buf[pos]
+}
+
+// NewBitReader reads from b.
+func NewBitReader(b []byte) *BitReader { return &BitReader{buf: b} }
+
+// ReadBits consumes n bits (n <= 24).
+func (r *BitReader) ReadBits(n uint) (uint32, error) {
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		if r.pos >= len(r.buf) {
+			return 0, ErrBitstream
+		}
+		b := (r.buf[r.pos] >> (7 - r.bit)) & 1
+		v = v<<1 | uint32(b)
+		r.bit++
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+	}
+	return v, nil
+}
+
+// ReadGamma consumes an Elias-gamma code.
+func (r *BitReader) ReadGamma() (uint32, error) {
+	nb := uint(0)
+	for {
+		b, err := r.ReadBits(1)
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		nb++
+		if nb > 31 {
+			return 0, ErrBitstream
+		}
+	}
+	low, err := r.ReadBits(nb)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<nb | low, nil
+}
+
+// ReadSGamma consumes a signed gamma code.
+func (r *BitReader) ReadSGamma() (int32, error) {
+	g, err := r.ReadGamma()
+	if err != nil {
+		return 0, err
+	}
+	if g&1 == 1 {
+		return int32(g / 2), nil
+	}
+	return -int32(g / 2), nil
+}

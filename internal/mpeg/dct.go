@@ -1,0 +1,69 @@
+package mpeg
+
+import "math"
+
+// The 8×8 type-II DCT and its inverse, applied separably. cosTable[u][x] =
+// c(u)/2 * cos((2x+1)uπ/16), precomputed at init.
+var cosTable [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			cosTable[u][x] = cu / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+}
+
+// FDCT transforms an 8×8 spatial block (row-major) into coefficients.
+func FDCT(in *[64]int32, out *[64]int32) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += float64(in[y*8+x]) * cosTable[u][x]
+			}
+			tmp[y*8+u] = s
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * cosTable[v][y]
+			}
+			out[v*8+u] = int32(math.RoundToEven(s))
+		}
+	}
+}
+
+// IDCT transforms coefficients back into an 8×8 spatial block.
+func IDCT(in *[64]int32, out *[64]int32) {
+	var tmp [64]float64
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				s += float64(in[v*8+u]) * cosTable[v][y]
+			}
+			tmp[y*8+u] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for u := 0; u < 8; u++ {
+				s += tmp[y*8+u] * cosTable[u][x]
+			}
+			out[y*8+x] = int32(math.RoundToEven(s))
+		}
+	}
+}

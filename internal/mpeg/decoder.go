@@ -1,0 +1,171 @@
+package mpeg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decoder reconstructs frames from ALF packets. Thanks to application-level
+// framing it keeps no entropy-coder state across packets (§4.1): each packet
+// decodes independently against the reference frame, so packet loss costs
+// only the macroblocks the lost packet carried (the previous frame's pixels
+// show through — simple error concealment).
+type Decoder struct {
+	w, h    int
+	cur     *Frame
+	ref     *Frame
+	frameNo uint32
+	minNext uint32 // smallest acceptable frame number
+	started bool
+	gotMB   int
+	totalMB int
+
+	// Stats
+	FramesOut  int64
+	PacketsIn  int64
+	PacketErrs int64
+	Incomplete int64 // frames emitted with missing macroblocks
+	BitsIn     int64
+}
+
+// NewDecoder returns a decoder; dimensions are learned from the first
+// packet.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// ErrStale marks packets for frames older than the one in progress.
+var ErrStale = errors.New("mpeg: stale packet")
+
+// Size reports the learned frame dimensions (0,0 before the first packet).
+func (d *Decoder) Size() (w, h int) { return d.w, d.h }
+
+// DecodePacket consumes one ALF packet. When the packet completes a frame
+// (or begins a newer frame while one is open), the finished frame is
+// returned; otherwise the frame result is nil. The returned frame is only
+// valid until the next completed frame.
+func (d *Decoder) DecodePacket(b []byte) (*Frame, error) {
+	p, err := ParsePacket(b)
+	if err != nil {
+		d.PacketErrs++
+		return nil, err
+	}
+	return d.decode(p)
+}
+
+// Decode consumes an already-parsed packet.
+func (d *Decoder) Decode(p *Packet) (*Frame, error) {
+	return d.decode(p)
+}
+
+func (d *Decoder) decode(p *Packet) (*Frame, error) {
+	d.PacketsIn++
+	d.BitsIn += int64(len(p.Data)) * 8
+	if d.cur == nil {
+		d.w, d.h = int(p.MBW)*16, int(p.MBH)*16
+		d.cur = NewFrame(d.w, d.h)
+		d.ref = NewFrame(d.w, d.h)
+	}
+	if int(p.MBW)*16 != d.w || int(p.MBH)*16 != d.h {
+		d.PacketErrs++
+		return nil, fmt.Errorf("mpeg: dimension change %dx%d", int(p.MBW)*16, int(p.MBH)*16)
+	}
+
+	var out *Frame
+	if p.FrameNo < d.minNext {
+		d.PacketErrs++
+		return nil, ErrStale
+	}
+	if d.started && p.FrameNo != d.frameNo {
+		// A newer frame begins while the current one is incomplete:
+		// emit what we have (missing macroblocks show the previous
+		// frame's pixels).
+		d.Incomplete++
+		out = d.finish()
+	}
+	if !d.started {
+		d.begin(p)
+	}
+
+	if err := d.decodeMBs(p); err != nil {
+		d.PacketErrs++
+		return out, err
+	}
+	d.gotMB += int(p.MBCount)
+	if d.gotMB >= d.totalMB {
+		// If this call also flushed an incomplete predecessor, the newer
+		// frame wins; the caller sees at most one frame per packet.
+		out = d.finish()
+	}
+	return out, nil
+}
+
+func (d *Decoder) begin(p *Packet) {
+	d.started = true
+	d.frameNo = p.FrameNo
+	d.totalMB = int(p.TotalMB)
+	d.gotMB = 0
+	// Start from the reference so missing or inter-coded regions carry
+	// the previous picture.
+	d.cur.CopyFrom(d.ref)
+}
+
+// finish emits the current frame and makes it the new reference.
+func (d *Decoder) finish() *Frame {
+	d.started = false
+	d.minNext = d.frameNo + 1
+	d.ref, d.cur = d.cur, d.ref
+	d.FramesOut++
+	return d.ref
+}
+
+func (d *Decoder) decodeMBs(p *Packet) error {
+	if !d.started {
+		d.begin(p)
+	}
+	r := NewBitReader(p.Data)
+	mbw := int(p.MBW)
+	q := int32(p.QScale)
+	intra := p.Kind == FrameI
+	var lvl, deq, rec [64]int32
+	for k := 0; k < int(p.MBCount); k++ {
+		mb := int(p.MBStart) + k
+		mx, my := (mb%mbw)*16, (mb/mbw)*16
+		dx, dy := 0, 0
+		if !intra {
+			flag, err := r.ReadBits(1)
+			if err != nil {
+				return err
+			}
+			if flag == 0 {
+				// Skipped macroblock: d.cur already holds the
+				// reference pixels (begin copies them in).
+				continue
+			}
+			v, err := r.ReadSGamma()
+			if err != nil {
+				return err
+			}
+			dx = int(v)
+			if v, err = r.ReadSGamma(); err != nil {
+				return err
+			}
+			dy = int(v)
+		}
+		blocks := mbBlocks(nil, d.ref, d.cur, mx, my, dx, dy)
+		for _, b := range blocks {
+			if err := decodeBlock(r, &lvl); err != nil {
+				return err
+			}
+			dequantize(&lvl, &deq, q, intra)
+			IDCT(&deq, &rec)
+			if intra {
+				for i := range rec {
+					rec[i] += 128
+				}
+				putBlock(b.out, b.w, b.x, b.y, &rec)
+			} else {
+				putBlockAdd(b.out, b.ref, b.w, b.h, b.x, b.y, b.dx, b.dy, &rec)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package mpeg
+
+// Dithering the decoded YCbCr picture to the display's 8-bit RGB332 format
+// is, with decompression itself, one of the two dominant costs the paper
+// measures ("the dithering and displaying of the video frames", §4.1). The
+// implementation uses a 4×4 ordered (Bayer) dither.
+
+var bayer4 = [4][4]int32{
+	{0, 8, 2, 10},
+	{12, 4, 14, 6},
+	{3, 11, 1, 9},
+	{15, 7, 13, 5},
+}
+
+// DitherRGB332 converts f to one byte per pixel: RRRGGGBB. dst must have
+// W*H bytes (a fresh buffer is allocated when dst is nil or too small).
+func DitherRGB332(f *Frame, dst []byte) []byte {
+	n := f.W * f.H
+	if len(dst) < n {
+		dst = make([]byte, n)
+	}
+	cw := f.W / 2
+	for y := 0; y < f.H; y++ {
+		row := y * f.W
+		crow := (y / 2) * cw
+		for x := 0; x < f.W; x++ {
+			Y := int32(f.Y[row+x])
+			Cb := int32(f.Cb[crow+x/2]) - 128
+			Cr := int32(f.Cr[crow+x/2]) - 128
+			// ITU-R BT.601 integer approximation.
+			r := Y + (91881*Cr)>>16
+			g := Y - (22554*Cb+46802*Cr)>>16
+			b := Y + (116130*Cb)>>16
+			d := bayer4[y&3][x&3]
+			// Thresholds scaled to the quantisation step of each channel:
+			// 32 levels lost for 3-bit channels, 64 for the 2-bit one.
+			r = clampC(r + (d*32)>>4 - 16)
+			g = clampC(g + (d*32)>>4 - 16)
+			b = clampC(b + (d*64)>>4 - 32)
+			dst[row+x] = byte(r>>5)<<5 | byte(g>>5)<<2 | byte(b>>6)
+		}
+	}
+	return dst[:n]
+}
+
+func clampC(v int32) int32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}

@@ -1,0 +1,234 @@
+package mpeg
+
+import "fmt"
+
+// EncoderConfig parameterizes an encoder.
+type EncoderConfig struct {
+	W, H        int
+	GOP         int // I-frame period (<=1 means all-intra)
+	QScale      int // 1 (finest) .. 31 (coarsest)
+	SearchRange int // motion search range in pixels (0 disables MC)
+	// PayloadBudget is the maximum entropy-coded bytes per ALF packet;
+	// the encoder closes a packet at the macroblock boundary that would
+	// exceed it, keeping "an integral number of work-units" per network
+	// packet (§4.1). Values ≤0 default to what fits an Ethernet MTU
+	// under ETH+IP+UDP+MFLOW+ALF headers.
+	PayloadBudget int
+}
+
+// DefaultPayloadBudget leaves room for ETH(14)+IP(20)+UDP(8)+MFLOW(17)+ALF
+// headers within a 1500-byte MTU.
+const DefaultPayloadBudget = 1400
+
+// Encoder compresses frames into ALF packets.
+type Encoder struct {
+	cfg     EncoderConfig
+	ref     *Frame // last reconstructed frame (what the decoder will have)
+	recon   *Frame
+	frameNo uint32
+}
+
+// NewEncoder validates cfg and returns an encoder.
+func NewEncoder(cfg EncoderConfig) (*Encoder, error) {
+	if cfg.W <= 0 || cfg.H <= 0 || cfg.W%16 != 0 || cfg.H%16 != 0 {
+		return nil, fmt.Errorf("mpeg: bad dimensions %dx%d", cfg.W, cfg.H)
+	}
+	if cfg.QScale < 1 || cfg.QScale > 31 {
+		return nil, fmt.Errorf("mpeg: qscale %d out of range", cfg.QScale)
+	}
+	if cfg.GOP < 1 {
+		cfg.GOP = 1
+	}
+	if cfg.PayloadBudget <= 0 {
+		cfg.PayloadBudget = DefaultPayloadBudget
+	}
+	return &Encoder{
+		cfg:   cfg,
+		ref:   NewFrame(cfg.W, cfg.H),
+		recon: NewFrame(cfg.W, cfg.H),
+	}, nil
+}
+
+// motionSearch finds the (dx,dy) in ±SearchRange minimizing the luma SAD
+// for the 16×16 macroblock at (mx,my), using a three-step search.
+func (e *Encoder) motionSearch(cur, ref *Frame, mx, my int) (int, int) {
+	r := e.cfg.SearchRange
+	if r <= 0 {
+		return 0, 0
+	}
+	best := sad16(cur, ref, mx, my, 0, 0)
+	bdx, bdy := 0, 0
+	step := r
+	for step >= 1 {
+		improved := true
+		for improved {
+			improved = false
+			for _, d := range [8][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}, {-1, -1}, {-1, 1}, {1, -1}, {1, 1}} {
+				dx, dy := bdx+d[0]*step, bdy+d[1]*step
+				if dx < -r || dx > r || dy < -r || dy > r {
+					continue
+				}
+				if s := sad16(cur, ref, mx, my, dx, dy); s < best {
+					best, bdx, bdy, improved = s, dx, dy, true
+				}
+			}
+		}
+		step /= 2
+	}
+	return bdx, bdy
+}
+
+func sad16(cur, ref *Frame, mx, my, dx, dy int) int {
+	w, h := cur.W, cur.H
+	var s int
+	for r := 0; r < 16; r++ {
+		co := (my+r)*w + mx
+		for c := 0; c < 16; c++ {
+			px, py := clampi(mx+c+dx, 0, w-1), clampi(my+r+dy, 0, h-1)
+			d := int(cur.Y[co+c]) - int(ref.Y[py*w+px])
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+	}
+	return s
+}
+
+// Encode compresses f and returns its ALF packets. Frames must match the
+// configured dimensions. The encoder reconstructs each frame exactly as a
+// decoder would, so prediction never drifts.
+func (e *Encoder) Encode(f *Frame) ([]*Packet, FrameKind) {
+	if f.W != e.cfg.W || f.H != e.cfg.H {
+		panic("mpeg: frame dimensions differ from encoder config")
+	}
+	kind := FrameP
+	if e.cfg.GOP <= 1 || e.frameNo%uint32(e.cfg.GOP) == 0 {
+		kind = FrameI
+	}
+	mbw, mbh := f.MBWidth(), f.MBHeight()
+	total := mbw * mbh
+	q := int32(e.cfg.QScale)
+
+	var packets []*Packet
+	w := &BitWriter{}
+	start := 0
+	flush := func(endMB int) {
+		packets = append(packets, &Packet{
+			FrameNo: e.frameNo,
+			Kind:    kind,
+			QScale:  uint8(q),
+			MBW:     uint8(mbw),
+			MBH:     uint8(mbh),
+			MBStart: uint16(start),
+			MBCount: uint16(endMB - start),
+			TotalMB: uint16(total),
+			Data:    w.Bytes(),
+		})
+		w = &BitWriter{}
+		start = endMB
+	}
+
+	for mb := 0; mb < total; mb++ {
+		mx, my := (mb%mbw)*16, (mb/mbw)*16
+		e.encodeMB(w, f, kind, mx, my, q)
+		// Close the packet at a macroblock boundary before the budget
+		// overflows. (w.Len() measures without flushing; Bytes() pads to
+		// a byte boundary only when the packet is actually closed.)
+		if (w.Len()+7)/8+64 > e.cfg.PayloadBudget && mb+1 < total {
+			flush(mb + 1)
+		}
+	}
+	flush(total)
+	e.ref, e.recon = e.recon, e.ref
+	e.frameNo++
+	return packets, kind
+}
+
+// mbBlocks enumerates the 4 luma and 2 chroma blocks of the macroblock at
+// (mx,my) over the (cur, ref, out) frame triple with motion vector (dx,dy).
+type blockRef struct {
+	cur, ref, out []byte
+	w, h, x, y    int
+	dx, dy        int
+}
+
+func mbBlocks(cur, ref, out *Frame, mx, my, dx, dy int) [6]blockRef {
+	w, h := ref.W, ref.H
+	cw, ch := w/2, h/2
+	var cy, cb, cr, oy, ob, or []byte
+	if cur != nil {
+		cy, cb, cr = cur.Y, cur.Cb, cur.Cr
+	}
+	if out != nil {
+		oy, ob, or = out.Y, out.Cb, out.Cr
+	}
+	return [6]blockRef{
+		{cy, ref.Y, oy, w, h, mx, my, dx, dy},
+		{cy, ref.Y, oy, w, h, mx + 8, my, dx, dy},
+		{cy, ref.Y, oy, w, h, mx, my + 8, dx, dy},
+		{cy, ref.Y, oy, w, h, mx + 8, my + 8, dx, dy},
+		{cb, ref.Cb, ob, cw, ch, mx / 2, my / 2, dx / 2, dy / 2},
+		{cr, ref.Cr, or, cw, ch, mx / 2, my / 2, dx / 2, dy / 2},
+	}
+}
+
+// encodeMB encodes one macroblock and reconstructs it into e.recon. Inter
+// macroblocks carry a leading skip bit: a zero-motion macroblock whose
+// residual quantises to nothing is coded in a single bit, the decoder simply
+// keeping the reference pixels.
+func (e *Encoder) encodeMB(w *BitWriter, f *Frame, kind FrameKind, mx, my int, q int32) {
+	var spatial, coef, deq, rec [64]int32
+	intra := kind == FrameI
+	if intra {
+		blocks := mbBlocks(f, e.ref, e.recon, mx, my, 0, 0)
+		for _, b := range blocks {
+			getBlock(b.cur, b.w, b.x, b.y, &spatial)
+			for i := range spatial {
+				spatial[i] -= 128 // level shift, as MPEG intra blocks do
+			}
+			FDCT(&spatial, &coef)
+			var lvl [64]int32
+			quantize(&coef, &lvl, q, true)
+			encodeBlock(w, &lvl)
+			// Reconstruct exactly as the decoder will.
+			dequantize(&lvl, &deq, q, true)
+			IDCT(&deq, &rec)
+			for i := range rec {
+				rec[i] += 128
+			}
+			putBlock(b.out, b.w, b.x, b.y, &rec)
+		}
+		return
+	}
+
+	dx, dy := e.motionSearch(f, e.ref, mx, my)
+	blocks := mbBlocks(f, e.ref, e.recon, mx, my, dx, dy)
+	var lvls [6][64]int32
+	allZero := true
+	for bi, b := range blocks {
+		getBlockDiff(b.cur, b.ref, b.w, b.h, b.x, b.y, b.dx, b.dy, &spatial)
+		FDCT(&spatial, &coef)
+		quantize(&coef, &lvls[bi], q, false)
+		if lvls[bi] != ([64]int32{}) {
+			allZero = false
+		}
+	}
+	if allZero && dx == 0 && dy == 0 {
+		w.WriteBits(0, 1) // skipped: decoder keeps the reference pixels
+		var zero [64]int32
+		for _, b := range blocks {
+			putBlockAdd(b.out, b.ref, b.w, b.h, b.x, b.y, 0, 0, &zero)
+		}
+		return
+	}
+	w.WriteBits(1, 1)
+	w.WriteSGamma(int32(dx))
+	w.WriteSGamma(int32(dy))
+	for bi, b := range blocks {
+		encodeBlock(w, &lvls[bi])
+		dequantize(&lvls[bi], &deq, q, false)
+		IDCT(&deq, &rec)
+		putBlockAdd(b.out, b.ref, b.w, b.h, b.x, b.y, b.dx, b.dy, &rec)
+	}
+}

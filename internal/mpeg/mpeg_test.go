@@ -1,0 +1,497 @@
+package mpeg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsRoundTrip(t *testing.T) {
+	w := &BitWriter{}
+	w.WriteBits(0b101, 3)
+	w.WriteGamma(1)
+	w.WriteGamma(17)
+	w.WriteSGamma(0)
+	w.WriteSGamma(-5)
+	w.WriteSGamma(1234)
+	r := NewBitReader(w.Bytes())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("bits = %b", v)
+	}
+	if v, _ := r.ReadGamma(); v != 1 {
+		t.Fatalf("gamma = %d", v)
+	}
+	if v, _ := r.ReadGamma(); v != 17 {
+		t.Fatalf("gamma = %d", v)
+	}
+	for _, want := range []int32{0, -5, 1234} {
+		if v, _ := r.ReadSGamma(); v != want {
+			t.Fatalf("sgamma = %d, want %d", v, want)
+		}
+	}
+}
+
+func TestBitsTruncated(t *testing.T) {
+	r := NewBitReader([]byte{0x00}) // eight zeros: gamma never terminates
+	if _, err := r.ReadGamma(); err == nil {
+		t.Fatal("truncated gamma succeeded")
+	}
+}
+
+func TestPropertyGammaRoundTrip(t *testing.T) {
+	f := func(vals []uint32) bool {
+		w := &BitWriter{}
+		for _, v := range vals {
+			w.WriteGamma(v%100000 + 1)
+		}
+		r := NewBitReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadGamma()
+			if err != nil || got != v%100000+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySGammaRoundTrip(t *testing.T) {
+	f := func(vals []int32) bool {
+		w := &BitWriter{}
+		for _, v := range vals {
+			w.WriteSGamma(v % 100000)
+		}
+		r := NewBitReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadSGamma()
+			if err != nil || got != v%100000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCTInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var in, coef, out [64]int32
+		for i := range in {
+			in[i] = int32(rng.Intn(256)) - 128
+		}
+		FDCT(&in, &coef)
+		IDCT(&coef, &out)
+		for i := range in {
+			d := in[i] - out[i]
+			if d < -1 || d > 1 {
+				t.Fatalf("IDCT(FDCT(x)) off by %d at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestDCTDCCoefficient(t *testing.T) {
+	var in, coef [64]int32
+	for i := range in {
+		in[i] = 100
+	}
+	FDCT(&in, &coef)
+	if coef[0] != 800 { // 8 * value for the normalization used
+		t.Fatalf("DC = %d, want 800", coef[0])
+	}
+	for i := 1; i < 64; i++ {
+		if coef[i] != 0 {
+			t.Fatalf("AC[%d] = %d on flat block", i, coef[i])
+		}
+	}
+}
+
+func TestQuantRoundTripLossBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var coef, lvl, deq [64]int32
+	for i := range coef {
+		coef[i] = int32(rng.Intn(400) - 200)
+	}
+	quantize(&coef, &lvl, 2, true)
+	dequantize(&lvl, &deq, 2, true)
+	for i := range coef {
+		step := 2 * intraMatrix[i] / 8
+		d := coef[i] - deq[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > step {
+			t.Fatalf("coef %d: err %d exceeds step %d", i, d, step)
+		}
+	}
+}
+
+func TestBlockCodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		var lvl, got [64]int32
+		for i := 0; i < 10; i++ {
+			lvl[rng.Intn(64)] = int32(rng.Intn(64) - 32)
+		}
+		w := &BitWriter{}
+		encodeBlock(w, &lvl)
+		if err := decodeBlock(NewBitReader(w.Bytes()), &got); err != nil {
+			t.Fatal(err)
+		}
+		if lvl != got {
+			t.Fatalf("block mismatch\n in=%v\nout=%v", lvl, got)
+		}
+	}
+}
+
+func TestPacketMarshalRoundTrip(t *testing.T) {
+	p := &Packet{FrameNo: 42, Kind: FrameP, QScale: 4, MBW: 10, MBH: 7,
+		MBStart: 30, MBCount: 5, TotalMB: 70, Data: []byte{1, 2, 3}}
+	q, err := ParsePacket(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FrameNo != 42 || q.Kind != FrameP || q.QScale != 4 || q.MBW != 10 ||
+		q.MBH != 7 || q.MBStart != 30 || q.MBCount != 5 || q.TotalMB != 70 || len(q.Data) != 3 {
+		t.Fatalf("round trip: %+v", q)
+	}
+}
+
+func TestParsePacketRejectsGarbage(t *testing.T) {
+	if _, err := ParsePacket([]byte{1, 2}); err == nil {
+		t.Fatal("short packet accepted")
+	}
+	bad := (&Packet{FrameNo: 1, Kind: 'X', QScale: 1, MBW: 1, MBH: 1, TotalMB: 1}).Marshal()
+	if _, err := ParsePacket(bad); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	over := (&Packet{FrameNo: 1, Kind: FrameI, QScale: 1, MBW: 1, MBH: 1, MBStart: 1, MBCount: 2, TotalMB: 2}).Marshal()
+	if _, err := ParsePacket(over); err == nil {
+		t.Fatal("overflowing MB range accepted")
+	}
+}
+
+func encodeDecodeClip(t *testing.T, cfg EncoderConfig, frames int, scene SceneConfig) (minPSNR float64, dec *Decoder) {
+	t.Helper()
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScene(scene)
+	dec = NewDecoder()
+	minPSNR = 1e9
+	for i := 0; i < frames; i++ {
+		orig := sc.Frame(i)
+		pkts, _ := enc.Encode(orig)
+		var out *Frame
+		for _, p := range pkts {
+			f, err := dec.DecodePacket(p.Marshal())
+			if err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			if f != nil {
+				out = f
+			}
+		}
+		if out == nil {
+			t.Fatalf("frame %d did not complete", i)
+		}
+		if ps := PSNR(orig, out); ps < minPSNR {
+			minPSNR = ps
+		}
+	}
+	return minPSNR, dec
+}
+
+func TestCodecIntraQuality(t *testing.T) {
+	scene := SceneConfig{W: 64, H: 48, Detail: 0.4, Motion: 1, Objects: 1, Seed: 9}
+	ps, _ := encodeDecodeClip(t, EncoderConfig{W: 64, H: 48, GOP: 1, QScale: 2}, 5, scene)
+	if ps < 30 {
+		t.Fatalf("intra PSNR %.1f dB too low", ps)
+	}
+}
+
+func TestCodecInterQuality(t *testing.T) {
+	scene := SceneConfig{W: 64, H: 48, Detail: 0.4, Motion: 1, Objects: 1, Seed: 9}
+	ps, dec := encodeDecodeClip(t, EncoderConfig{W: 64, H: 48, GOP: 5, QScale: 2, SearchRange: 4}, 12, scene)
+	if ps < 28 {
+		t.Fatalf("inter PSNR %.1f dB too low", ps)
+	}
+	if dec.FramesOut != 12 {
+		t.Fatalf("decoder emitted %d frames", dec.FramesOut)
+	}
+}
+
+func TestInterSmallerThanIntra(t *testing.T) {
+	// Motion compensation must pay for itself on a smooth panning scene.
+	// (On very noisy content the reference's quantisation noise makes the
+	// residual as expensive as intra coding — true of real encoders too.)
+	scene := NewScene(SceneConfig{W: 64, H: 48, Detail: 0.1, Motion: 1, Objects: 0, Seed: 4})
+	intra, _ := NewEncoder(EncoderConfig{W: 64, H: 48, GOP: 1, QScale: 4})
+	inter, _ := NewEncoder(EncoderConfig{W: 64, H: 48, GOP: 100, QScale: 4, SearchRange: 4})
+	var intraBits, interBits int
+	for i := 0; i < 6; i++ {
+		f := scene.Frame(i)
+		ip, _ := intra.Encode(f)
+		for _, p := range ip {
+			intraBits += len(p.Data) * 8
+		}
+		pp, _ := inter.Encode(f)
+		for _, p := range pp {
+			interBits += len(p.Data) * 8
+		}
+	}
+	if interBits >= intraBits {
+		t.Fatalf("inter %d bits >= intra %d bits", interBits, intraBits)
+	}
+}
+
+func encodeHelper(t *testing.T, gop int) ([]*Packet, []*Packet) {
+	t.Helper()
+	scene := NewScene(SceneConfig{W: 64, H: 48, Detail: 0.9, Motion: 1, Objects: 1, Seed: 5})
+	enc, _ := NewEncoder(EncoderConfig{W: 64, H: 48, GOP: gop, QScale: 2, SearchRange: 4, PayloadBudget: 300})
+	p0, _ := enc.Encode(scene.Frame(0))
+	p1, _ := enc.Encode(scene.Frame(1))
+	if len(p0) < 2 || len(p1) < 2 {
+		t.Fatalf("helper produced %d/%d packets; tests need several per frame", len(p0), len(p1))
+	}
+	return p0, p1
+}
+
+func TestPacketLossConcealment(t *testing.T) {
+	p0, p1 := encodeHelper(t, 100)
+	dec := NewDecoder()
+	for _, p := range p0 {
+		dec.DecodePacket(p.Marshal())
+	}
+	// Drop the first packet of frame 1; deliver the rest plus a frame-2
+	// starter to flush.
+	for _, p := range p1[1:] {
+		if _, err := dec.DecodePacket(p.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flush := &Packet{FrameNo: 2, Kind: FrameP, QScale: 3, MBW: 4, MBH: 3, TotalMB: 12, MBCount: 0}
+	if _, err := dec.DecodePacket(flush.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Incomplete != 1 {
+		t.Fatalf("Incomplete = %d, want 1", dec.Incomplete)
+	}
+}
+
+func TestALFPacketsIndependentlyDecodable(t *testing.T) {
+	// Decoding a frame's packets in any order must work: ALF means no
+	// entropy state crosses packets.
+	scene := NewScene(SceneConfig{W: 96, H: 64, Detail: 0.8, Motion: 1, Objects: 2, Seed: 6})
+	enc, _ := NewEncoder(EncoderConfig{W: 96, H: 64, GOP: 1, QScale: 1, PayloadBudget: 300})
+	pkts, _ := enc.Encode(scene.Frame(0))
+	if len(pkts) < 3 {
+		t.Fatalf("budget produced only %d packets", len(pkts))
+	}
+	forward := NewDecoder()
+	var a *Frame
+	for _, p := range pkts {
+		if f, _ := forward.Decode(p); f != nil {
+			a = f.Clone()
+		}
+	}
+	reversed := NewDecoder()
+	var b *Frame
+	for i := len(pkts) - 1; i >= 0; i-- {
+		if f, _ := reversed.Decode(pkts[i]); f != nil {
+			b = f.Clone()
+		}
+	}
+	if a == nil || b == nil {
+		t.Fatal("frames did not complete")
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("packet order changed decoded output")
+		}
+	}
+}
+
+func TestPayloadBudgetRespected(t *testing.T) {
+	scene := NewScene(SceneConfig{W: 96, H: 64, Detail: 1.0, Motion: 1, Objects: 2, Seed: 7})
+	enc, _ := NewEncoder(EncoderConfig{W: 96, H: 64, GOP: 1, QScale: 1, PayloadBudget: 400})
+	pkts, _ := enc.Encode(scene.Frame(0))
+	total := 0
+	for _, p := range pkts {
+		if len(p.Data) > 400+200 { // one MB may overshoot the soft budget
+			t.Fatalf("packet of %d bytes far exceeds budget", len(p.Data))
+		}
+		total += int(p.MBCount)
+	}
+	if total != 24 {
+		t.Fatalf("macroblocks across packets = %d, want 24", total)
+	}
+}
+
+func TestStalePacketRejected(t *testing.T) {
+	p0, p1 := encodeHelper(t, 100)
+	dec := NewDecoder()
+	for _, p := range p0 {
+		dec.DecodePacket(p.Marshal())
+	}
+	for _, p := range p1 {
+		dec.DecodePacket(p.Marshal())
+	}
+	if _, err := dec.DecodePacket(p0[0].Marshal()); err != ErrStale {
+		t.Fatalf("stale packet err = %v", err)
+	}
+}
+
+func TestDitherOutput(t *testing.T) {
+	f := NewFrame(16, 16)
+	for i := range f.Y {
+		f.Y[i] = 255
+	}
+	for i := range f.Cb {
+		f.Cb[i] = 128
+		f.Cr[i] = 128
+	}
+	out := DitherRGB332(f, nil)
+	if len(out) != 256 {
+		t.Fatalf("dither output %d bytes", len(out))
+	}
+	// Pure white must map to full channels regardless of dither offset.
+	for _, px := range out {
+		if px != 0xff {
+			t.Fatalf("white dithered to %#02x", px)
+		}
+	}
+	// Black frame.
+	for i := range f.Y {
+		f.Y[i] = 0
+	}
+	out = DitherRGB332(f, out)
+	for _, px := range out {
+		if px != 0 {
+			t.Fatalf("black dithered to %#02x", px)
+		}
+	}
+}
+
+func TestClipTraceDeterministic(t *testing.T) {
+	a := Neptune.Trace(1)
+	b := Neptune.Trace(1)
+	if len(a) != Neptune.Frames {
+		t.Fatalf("trace length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestClipTraceShape(t *testing.T) {
+	for _, c := range Clips {
+		tr := c.Trace(7)
+		// I-frames every GOP, larger than neighbouring P-frames on average.
+		var iSum, pSum float64
+		var iN, pN int
+		for i, f := range tr {
+			if i%c.GOP == 0 {
+				if f.Kind != FrameI {
+					t.Fatalf("%s frame %d not I", c.Name, i)
+				}
+				iSum += float64(f.Bits)
+				iN++
+			} else {
+				if f.Kind != FrameP {
+					t.Fatalf("%s frame %d not P", c.Name, i)
+				}
+				pSum += float64(f.Bits)
+				pN++
+			}
+		}
+		if iN == 0 || pN == 0 {
+			t.Fatalf("%s trace missing a frame kind", c.Name)
+		}
+		if iSum/float64(iN) < 2*pSum/float64(pN) {
+			t.Fatalf("%s I-frames not meaningfully larger than P-frames", c.Name)
+		}
+		avg := AvgBits(tr)
+		want := float64(c.AvgPBits) * (3 + float64(c.GOP-1)) / float64(c.GOP)
+		if avg < want*0.85 || avg > want*1.15 {
+			t.Fatalf("%s avg bits %.0f, want ≈%.0f", c.Name, avg, want)
+		}
+	}
+}
+
+func TestClipOrderingMatchesPaper(t *testing.T) {
+	// Average decode cost proxy (bits + pixels) must order the clips the
+	// way Table 1 does: Canyon cheapest, then RedsNightmare, Neptune,
+	// Flower.
+	cost := func(c ClipSpec) float64 {
+		return AvgBits(c.Trace(3)) + float64(c.W*c.H)/4
+	}
+	if !(cost(Canyon) < cost(RedsNightmare) && cost(RedsNightmare) < cost(Neptune) && cost(Neptune) < cost(Flower)) {
+		t.Fatalf("clip cost ordering wrong: %v %v %v %v",
+			cost(Canyon), cost(RedsNightmare), cost(Neptune), cost(Flower))
+	}
+}
+
+func TestSceneDeterministic(t *testing.T) {
+	s1 := NewScene(SceneConfig{W: 32, H: 32, Detail: 0.5, Motion: 1, Objects: 1, Seed: 8})
+	s2 := NewScene(SceneConfig{W: 32, H: 32, Detail: 0.5, Motion: 1, Objects: 1, Seed: 8})
+	a, b := s1.Frame(3), s2.Frame(3)
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("scene not deterministic")
+		}
+	}
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(EncoderConfig{W: 30, H: 48, QScale: 2}); err == nil {
+		t.Fatal("non-multiple-of-16 width accepted")
+	}
+	if _, err := NewEncoder(EncoderConfig{W: 32, H: 32, QScale: 0}); err == nil {
+		t.Fatal("qscale 0 accepted")
+	}
+	if _, err := NewEncoder(EncoderConfig{W: 32, H: 32, QScale: 40}); err == nil {
+		t.Fatal("qscale 40 accepted")
+	}
+}
+
+func BenchmarkDecodeFrame(b *testing.B) {
+	scene := NewScene(SceneConfig{W: 160, H: 112, Detail: 0.5, Motion: 1, Objects: 2, Seed: 10})
+	enc, _ := NewEncoder(EncoderConfig{W: 160, H: 112, GOP: 15, QScale: 3, SearchRange: 4})
+	var pkts [][]byte
+	var bits int
+	for i := 0; i < 15; i++ {
+		ps, _ := enc.Encode(scene.Frame(i))
+		for _, p := range ps {
+			pkts = append(pkts, p.Marshal())
+			bits += len(p.Data) * 8
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dec := NewDecoder()
+		for _, pk := range pkts {
+			dec.DecodePacket(pk)
+		}
+	}
+	b.ReportMetric(float64(bits)/15, "bits/frame")
+}
+
+func BenchmarkDitherFrame(b *testing.B) {
+	f := NewFrame(352, 240)
+	dst := make([]byte, 352*240)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DitherRGB332(f, dst)
+	}
+}

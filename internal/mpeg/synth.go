@@ -1,0 +1,91 @@
+package mpeg
+
+import "math"
+
+// SceneConfig parameterizes the synthetic video generator that stands in for
+// the paper's clips (we do not have Flower/Neptune/RedsNightmare/Canyon; see
+// DESIGN.md). Spatial detail and motion are the two knobs that control how
+// expensive the encoded stream is to decode, which is the property the
+// experiments depend on.
+type SceneConfig struct {
+	W, H    int
+	Detail  float64 // 0..1: amplitude of high-frequency texture
+	Motion  float64 // pixels per frame of global pan
+	Objects int     // number of moving rectangles
+	Seed    int64
+}
+
+// Scene procedurally generates frames.
+type Scene struct {
+	cfg SceneConfig
+}
+
+// NewScene returns a generator for cfg (dimensions must be multiples of 16).
+func NewScene(cfg SceneConfig) *Scene {
+	if cfg.W%16 != 0 || cfg.H%16 != 0 || cfg.W <= 0 || cfg.H <= 0 {
+		panic("mpeg: scene size must be positive multiples of 16")
+	}
+	return &Scene{cfg: cfg}
+}
+
+// hash is a small integer hash for deterministic per-pixel noise.
+func hash(x, y, t int, seed int64) uint32 {
+	h := uint32(x)*0x9e3779b1 ^ uint32(y)*0x85ebca6b ^ uint32(t)*0xc2b2ae35 ^ uint32(seed)
+	h ^= h >> 15
+	h *= 0x2c1b3c6d
+	h ^= h >> 12
+	h *= 0x297a2d39
+	h ^= h >> 15
+	return h
+}
+
+// Frame renders frame t.
+func (s *Scene) Frame(t int) *Frame {
+	c := s.cfg
+	f := NewFrame(c.W, c.H)
+	// Integer pan per frame so the scene translates exactly and motion
+	// compensation can track it; fractional motion would decorrelate the
+	// texture and make inter coding pointless.
+	panX := int(math.Round(c.Motion * float64(t)))
+	panY := int(math.Round(c.Motion * float64(t) * 0.5))
+	amp := c.Detail * 80
+
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			ix, iy := x+panX, y+panY
+			// Smooth background: two panning sinusoids.
+			v := 110 +
+				60*math.Sin(float64(ix)*2*math.Pi/97) +
+				40*math.Sin(float64(iy)*2*math.Pi/61)
+			// High-frequency texture scaled by Detail; it pans with
+			// the scene.
+			if amp > 0 {
+				n := float64(hash(ix, iy, 0, c.Seed)&0xff)/255 - 0.5
+				v += amp * n
+			}
+			f.Y[y*c.W+x] = clampByte(int32(v))
+		}
+	}
+	// Moving rectangles (foreground objects).
+	for o := 0; o < c.Objects; o++ {
+		ph := float64(o) * 2.4
+		ox := int(float64(c.W)/2 + float64(c.W)/3*math.Sin(float64(t)*0.08+ph))
+		oy := int(float64(c.H)/2 + float64(c.H)/3*math.Cos(float64(t)*0.06+ph))
+		lum := byte(40 + 30*o%160)
+		for dy := -8; dy < 8; dy++ {
+			for dx := -12; dx < 12; dx++ {
+				x, y := clampi(ox+dx, 0, c.W-1), clampi(oy+dy, 0, c.H-1)
+				f.Y[y*c.W+x] = lum
+			}
+		}
+	}
+	// Chroma: slow color wash.
+	cw, ch := c.W/2, c.H/2
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			f.Cb[y*cw+x] = clampByte(int32(128 + 40*math.Sin(float64(x+t)*0.05)))
+			f.Cr[y*cw+x] = clampByte(int32(128 + 40*math.Cos(float64(y+t)*0.04)))
+		}
+	}
+	return f
+}

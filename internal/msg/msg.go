@@ -1,0 +1,252 @@
+// Package msg implements the message abstraction that flows along Scout
+// paths. Like the x-kernel messages Scout inherited, a Msg is a view onto a
+// shared backing buffer with headroom, so protocol layers can prepend and
+// strip headers without copying the payload. Copies that do happen (headroom
+// exhaustion, explicit CopyOut) are counted, which lets the benchmark
+// harness verify the paper's claim that path-oriented buffering removes
+// per-layer copies.
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrShort is returned when a message is shorter than a requested header.
+var ErrShort = errors.New("msg: message too short")
+
+// Stats counts buffer copies performed by the message layer. The Scout path
+// stack is expected to keep these at zero along the data path; the baseline
+// stack copies deliberately.
+var stats struct {
+	reallocCopies  atomic.Int64 // Push had to grow the buffer
+	explicitCopies atomic.Int64 // CopyOut / CopyIn calls
+	copiedBytes    atomic.Int64
+}
+
+// CopyStats reports (reallocation copies, explicit copies, bytes copied)
+// since the last ResetStats.
+func CopyStats() (reallocs, explicit, bytes int64) {
+	return stats.reallocCopies.Load(), stats.explicitCopies.Load(), stats.copiedBytes.Load()
+}
+
+// ResetStats zeroes the copy counters.
+func ResetStats() {
+	stats.reallocCopies.Store(0)
+	stats.explicitCopies.Store(0)
+	stats.copiedBytes.Store(0)
+}
+
+// Releaser is implemented by buffer pools (see package fbuf) that want their
+// storage back when the last view of a message is freed.
+type Releaser interface {
+	Release(buf []byte)
+}
+
+// Msg is a mutable view [off:end) onto a backing buffer. Clones and Split
+// results share the backing buffer; Free releases it to its pool when the
+// last view goes away.
+type Msg struct {
+	buf  []byte
+	off  int
+	end  int
+	refs *atomic.Int32
+	pool Releaser
+
+	// Arrival is the virtual time (sim.Time as int64 nanoseconds) at which
+	// the message entered the system; devices stamp it so latency can be
+	// measured end to end.
+	Arrival int64
+	// Tag carries router-specific per-message context (e.g. the MPEG frame
+	// number a packet belongs to). It travels with the view, not the buffer.
+	Tag any
+}
+
+// New wraps data in a message with no headroom. The message takes ownership
+// of data.
+func New(data []byte) *Msg {
+	m := &Msg{buf: data, off: 0, end: len(data), refs: new(atomic.Int32)}
+	m.refs.Store(1)
+	return m
+}
+
+// NewWithHeadroom returns a message with size bytes of zeroed payload and
+// headroom bytes of space in front of it for headers to be pushed.
+func NewWithHeadroom(headroom, size int) *Msg {
+	if headroom < 0 || size < 0 {
+		panic("msg: negative size")
+	}
+	buf := make([]byte, headroom+size)
+	m := &Msg{buf: buf, off: headroom, end: headroom + size, refs: new(atomic.Int32)}
+	m.refs.Store(1)
+	return m
+}
+
+// FromBuffer builds a message over an externally owned buffer (typically an
+// fbuf). The view starts at [off:end); pool (may be nil) receives the buffer
+// back on final Free.
+func FromBuffer(buf []byte, off, end int, pool Releaser) *Msg {
+	if off < 0 || end < off || end > len(buf) {
+		panic(fmt.Sprintf("msg: bad view [%d:%d) over %d bytes", off, end, len(buf)))
+	}
+	m := &Msg{buf: buf, off: off, end: end, refs: new(atomic.Int32), pool: pool}
+	m.refs.Store(1)
+	return m
+}
+
+// Len reports the number of bytes in the current view.
+func (m *Msg) Len() int { return m.end - m.off }
+
+// Headroom reports how many bytes can be pushed without reallocating.
+func (m *Msg) Headroom() int { return m.off }
+
+// Bytes returns the current view. The slice aliases the backing buffer.
+func (m *Msg) Bytes() []byte { return m.buf[m.off:m.end] }
+
+// Push prepends n bytes to the front of the message and returns the slice
+// covering them, ready for a header to be written. If the headroom is
+// insufficient, the backing buffer is grown with a copy (counted in
+// CopyStats) — correct, but paths are expected to allocate enough headroom
+// up front so this never triggers on the fast path.
+func (m *Msg) Push(n int) []byte {
+	if n < 0 {
+		panic("msg: negative Push")
+	}
+	if n > m.off {
+		grow := n - m.off + 64
+		old := m.buf
+		nb := make([]byte, grow+len(m.buf))
+		copy(nb[grow:], m.buf)
+		stats.reallocCopies.Add(1)
+		stats.copiedBytes.Add(int64(m.end - m.off))
+		m.buf = nb
+		m.off += grow
+		m.end += grow
+		// The grown buffer is private; the original stays with other views.
+		m.detach(old)
+	}
+	m.off -= n
+	return m.buf[m.off : m.off+n]
+}
+
+// Pop strips n bytes from the front and returns them (aliasing the buffer).
+func (m *Msg) Pop(n int) ([]byte, error) {
+	if n < 0 {
+		panic("msg: negative Pop")
+	}
+	if n > m.Len() {
+		return nil, ErrShort
+	}
+	h := m.buf[m.off : m.off+n]
+	m.off += n
+	return h, nil
+}
+
+// Peek returns the first n bytes without consuming them.
+func (m *Msg) Peek(n int) ([]byte, error) {
+	if n > m.Len() {
+		return nil, ErrShort
+	}
+	return m.buf[m.off : m.off+n], nil
+}
+
+// TrimTail removes n bytes from the end of the view (e.g. padding).
+func (m *Msg) TrimTail(n int) error {
+	if n < 0 || n > m.Len() {
+		return ErrShort
+	}
+	m.end -= n
+	return nil
+}
+
+// Truncate shortens the view to n bytes.
+func (m *Msg) Truncate(n int) error {
+	if n < 0 || n > m.Len() {
+		return ErrShort
+	}
+	m.end = m.off + n
+	return nil
+}
+
+// Split removes the first n bytes into a new message that shares the backing
+// buffer (used by IP fragmentation). The receiver keeps the remainder.
+func (m *Msg) Split(n int) (*Msg, error) {
+	if n < 0 || n > m.Len() {
+		return nil, ErrShort
+	}
+	head := &Msg{
+		buf: m.buf, off: m.off, end: m.off + n,
+		refs: m.refs, pool: m.pool,
+		Arrival: m.Arrival, Tag: m.Tag,
+	}
+	m.refs.Add(1)
+	m.off += n
+	return head, nil
+}
+
+// Clone returns a new independent view of the same bytes. Mutating the view
+// bounds of one clone does not affect the other; the payload bytes are
+// shared.
+func (m *Msg) Clone() *Msg {
+	m.refs.Add(1)
+	return &Msg{
+		buf: m.buf, off: m.off, end: m.end,
+		refs: m.refs, pool: m.pool,
+		Arrival: m.Arrival, Tag: m.Tag,
+	}
+}
+
+// CopyOut returns a freshly allocated copy of the view, counting the copy.
+func (m *Msg) CopyOut() []byte {
+	out := make([]byte, m.Len())
+	copy(out, m.Bytes())
+	stats.explicitCopies.Add(1)
+	stats.copiedBytes.Add(int64(len(out)))
+	return out
+}
+
+// CopyIn overwrites the view's bytes with data (len(data) must equal Len),
+// counting the copy. The baseline stack uses it to model the kernel/user
+// boundary copy.
+func (m *Msg) CopyIn(data []byte) error {
+	if len(data) != m.Len() {
+		return ErrShort
+	}
+	copy(m.Bytes(), data)
+	stats.explicitCopies.Add(1)
+	stats.copiedBytes.Add(int64(len(data)))
+	return nil
+}
+
+// Free drops this view's reference; when the last reference goes, the
+// backing buffer returns to its pool (if any). Using a Msg after Free is a
+// bug; Free is idempotent per view only in that double-free panics.
+func (m *Msg) Free() {
+	if m.refs == nil {
+		panic("msg: double free")
+	}
+	refs := m.refs
+	m.refs = nil
+	if refs.Add(-1) == 0 && m.pool != nil {
+		m.pool.Release(m.buf)
+	}
+	m.buf = nil
+}
+
+// detach gives m a private reference after its buffer was reallocated,
+// returning the old buffer to its pool if m held the last reference to it.
+func (m *Msg) detach(oldBuf []byte) {
+	oldRefs := m.refs
+	m.refs = new(atomic.Int32)
+	m.refs.Store(1)
+	oldPool := m.pool
+	m.pool = nil
+	if oldRefs.Add(-1) == 0 && oldPool != nil {
+		oldPool.Release(oldBuf)
+	}
+}
+
+func (m *Msg) String() string {
+	return fmt.Sprintf("Msg(len=%d headroom=%d)", m.Len(), m.Headroom())
+}

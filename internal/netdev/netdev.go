@@ -1,0 +1,229 @@
+// Package netdev simulates the Ethernet hardware under the Scout stack: a
+// shared link with bandwidth, propagation delay, jitter and loss, and
+// network devices whose receive side runs at "interrupt time" — the place
+// where, per §4.3 of the paper, the packet classifier executes so that newly
+// arriving packets are immediately placed in the correct per-path queue.
+package netdev
+
+import (
+	"fmt"
+	"time"
+
+	"scout/internal/msg"
+	"scout/internal/sched"
+	"scout/internal/sim"
+)
+
+// MAC is a 6-byte Ethernet hardware address.
+type MAC [6]byte
+
+// Broadcast is the all-ones Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// MTU is the Ethernet maximum transmission unit the simulation uses.
+const MTU = 1500
+
+// LinkConfig describes a simulated shared link.
+type LinkConfig struct {
+	// BitsPerSec is the link bandwidth; it determines frame serialization
+	// time. Defaults to 10 Mb/s (the paper's era Ethernet) when zero.
+	BitsPerSec int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the independent frame-drop probability in [0, 1).
+	Loss float64
+}
+
+// Link is a shared-medium Ethernet segment.
+type Link struct {
+	eng   *sim.Engine
+	cfg   LinkConfig
+	devs  map[MAC]*Device
+	order []*Device // insertion order, for deterministic broadcast
+
+	busyUntil sim.Time
+	sent      int64
+	dropped   int64
+	delivered int64
+}
+
+// NewLink creates a link on eng with the given configuration.
+func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
+	if cfg.BitsPerSec <= 0 {
+		cfg.BitsPerSec = 10_000_000
+	}
+	return &Link{eng: eng, cfg: cfg, devs: make(map[MAC]*Device)}
+}
+
+// Stats reports (frames sent, frames dropped by loss, frames delivered).
+func (l *Link) Stats() (sent, dropped, delivered int64) {
+	return l.sent, l.dropped, l.delivered
+}
+
+// serialization returns the time the medium is occupied by a frame of n
+// bytes.
+func (l *Link) serialization(n int) time.Duration {
+	return time.Duration(int64(n) * 8 * int64(time.Second) / l.cfg.BitsPerSec)
+}
+
+// transmit carries a frame from src to the device(s) addressed by dst. The
+// shared medium serializes frames: a transmission begins when the medium is
+// free.
+func (l *Link) transmit(src *Device, dst MAC, m *msg.Msg) {
+	l.sent++
+	if l.cfg.Loss > 0 && l.eng.Rand().Float64() < l.cfg.Loss {
+		l.dropped++
+		m.Free()
+		return
+	}
+	start := l.eng.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	ser := l.serialization(m.Len())
+	l.busyUntil = start.Add(ser)
+	arrive := l.busyUntil.Add(l.cfg.Delay)
+	if l.cfg.Jitter > 0 {
+		arrive = arrive.Add(time.Duration(l.eng.Rand().Int63n(int64(l.cfg.Jitter))))
+	}
+	l.eng.At(arrive, func() {
+		l.deliver(src, dst, m)
+	})
+}
+
+func (l *Link) deliver(src *Device, dst MAC, m *msg.Msg) {
+	if dst == Broadcast {
+		var rcpt []*Device
+		for _, d := range l.order {
+			if d != src {
+				rcpt = append(rcpt, d)
+			}
+		}
+		if len(rcpt) == 0 { // nobody else on the wire
+			m.Free()
+			return
+		}
+		// Clone before delivering: a recipient may free its copy
+		// synchronously.
+		frames := make([]*msg.Msg, len(rcpt))
+		frames[0] = m
+		for i := 1; i < len(rcpt); i++ {
+			frames[i] = m.Clone()
+		}
+		for i, d := range rcpt {
+			l.delivered++
+			d.receive(frames[i])
+		}
+		return
+	}
+	if d, ok := l.devs[dst]; ok && d != src {
+		l.delivered++
+		d.receive(m)
+		return
+	}
+	m.Free()
+}
+
+// Device is a simulated NIC. Its receive side invokes OnReceive from
+// interrupt context; when a scheduler is attached the per-frame interrupt
+// cost is stolen from the running thread, exactly like a real RX interrupt.
+type Device struct {
+	Addr MAC
+
+	link *Link
+	eng  *sim.Engine
+	cpu  *sched.Sched
+
+	// OnReceive handles an arriving frame at interrupt time. The ETH
+	// router installs the classifier here. A nil handler drops frames.
+	OnReceive func(m *msg.Msg)
+	// RxIRQCost is the CPU cost charged per receive interrupt (classifier
+	// + buffer handling). The paper's unoptimized classifier demuxes a
+	// UDP packet in under 5 µs (§3.6).
+	RxIRQCost time.Duration
+	// TxCost is the CPU cost charged (to the caller's context) per
+	// transmitted frame.
+	TxCost time.Duration
+
+	rx, tx, rxDropped int64
+}
+
+// NewDevice attaches a NIC with the given address to the link. cpu may be
+// nil, in which case receive handlers run without charging interrupt cost
+// (used by traffic sources that are not part of the system under test).
+func NewDevice(l *Link, addr MAC, cpu *sched.Sched) *Device {
+	if _, dup := l.devs[addr]; dup {
+		panic(fmt.Sprintf("netdev: duplicate MAC %s on link", addr))
+	}
+	d := &Device{Addr: addr, link: l, eng: l.eng, cpu: cpu}
+	l.devs[addr] = d
+	l.order = append(l.order, d)
+	return d
+}
+
+// Transmit sends a frame (a complete Ethernet frame, headers included) to
+// dst. The device takes ownership of m.
+func (d *Device) Transmit(dst MAC, m *msg.Msg) {
+	d.tx++
+	if d.cpu != nil && d.TxCost > 0 {
+		d.cpu.Interrupt(d.TxCost, nil)
+	}
+	d.link.transmit(d, dst, m)
+}
+
+func (d *Device) receive(m *msg.Msg) {
+	d.rx++
+	m.Arrival = int64(d.eng.Now())
+	if d.OnReceive == nil {
+		d.rxDropped++
+		m.Free()
+		return
+	}
+	if d.cpu != nil {
+		d.cpu.Interrupt(d.RxIRQCost, func() { d.OnReceive(m) })
+		return
+	}
+	d.OnReceive(m)
+}
+
+// Stats reports (frames received, transmitted, dropped for lack of a
+// handler).
+func (d *Device) Stats() (rx, tx, dropped int64) { return d.rx, d.tx, d.rxDropped }
+
+// Engine returns the simulation engine the device runs on.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Generator injects copies of a template frame at a fixed rate — the
+// reproduction's stand-in for `ping -f` (§4.3, Table 2).
+type Generator struct {
+	dev      *Device
+	dst      MAC
+	template []byte
+	ticker   *sim.Ticker
+	sent     int64
+}
+
+// NewGenerator sends a copy of frame to dst through dev every interval.
+// Call Stop to cease fire.
+func NewGenerator(dev *Device, dst MAC, frame []byte, interval time.Duration) *Generator {
+	g := &Generator{dev: dev, dst: dst, template: append([]byte(nil), frame...)}
+	g.ticker = dev.eng.Tick(interval, func() {
+		buf := make([]byte, len(g.template))
+		copy(buf, g.template)
+		g.sent++
+		dev.Transmit(dst, msg.New(buf))
+	})
+	return g
+}
+
+// Sent reports how many frames the generator has transmitted.
+func (g *Generator) Sent() int64 { return g.sent }
+
+// Stop ceases generation.
+func (g *Generator) Stop() { g.ticker.Stop() }

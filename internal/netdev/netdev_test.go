@@ -1,0 +1,213 @@
+package netdev
+
+import (
+	"testing"
+	"time"
+
+	"scout/internal/msg"
+	"scout/internal/sched"
+	"scout/internal/sim"
+)
+
+var (
+	macA = MAC{2, 0, 0, 0, 0, 1}
+	macB = MAC{2, 0, 0, 0, 0, 2}
+	macC = MAC{2, 0, 0, 0, 0, 3}
+)
+
+func TestUnicastDelivery(t *testing.T) {
+	eng := sim.New(1)
+	l := NewLink(eng, LinkConfig{BitsPerSec: 10_000_000, Delay: time.Millisecond})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	var got []byte
+	var at sim.Time
+	b.OnReceive = func(m *msg.Msg) { got = m.CopyOut(); at = eng.Now() }
+	a.Transmit(macB, msg.New([]byte("hello")))
+	eng.Run()
+	if string(got) != "hello" {
+		t.Fatalf("received %q", got)
+	}
+	// 5 bytes at 10 Mb/s = 4 µs serialization + 1 ms delay.
+	want := sim.Time(time.Millisecond + 4*time.Microsecond)
+	if at != want {
+		t.Fatalf("arrived at %v, want %v", at, want)
+	}
+}
+
+func TestNoSelfDelivery(t *testing.T) {
+	eng := sim.New(1)
+	l := NewLink(eng, LinkConfig{})
+	a := NewDevice(l, macA, nil)
+	NewDevice(l, macB, nil)
+	recv := 0
+	a.OnReceive = func(m *msg.Msg) { recv++; m.Free() }
+	a.Transmit(Broadcast, msg.New([]byte("x")))
+	eng.Run()
+	if recv != 0 {
+		t.Fatal("device received its own broadcast")
+	}
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	eng := sim.New(1)
+	l := NewLink(eng, LinkConfig{})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	c := NewDevice(l, macC, nil)
+	var hits int
+	h := func(m *msg.Msg) { hits++; m.Free() }
+	b.OnReceive, c.OnReceive = h, h
+	a.Transmit(Broadcast, msg.New([]byte("bcast")))
+	eng.Run()
+	if hits != 2 {
+		t.Fatalf("broadcast hit %d devices, want 2", hits)
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	eng := sim.New(1)
+	l := NewLink(eng, LinkConfig{})
+	a := NewDevice(l, macA, nil)
+	a.Transmit(macC, msg.New([]byte("x")))
+	eng.Run()
+	if _, _, delivered := l.Stats(); delivered != 0 {
+		t.Fatal("frame to unknown MAC delivered")
+	}
+}
+
+func TestSerializationSharesMedium(t *testing.T) {
+	eng := sim.New(1)
+	// 1 Mb/s: a 1000-byte frame occupies the wire for 8 ms.
+	l := NewLink(eng, LinkConfig{BitsPerSec: 1_000_000})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	var arrivals []sim.Time
+	b.OnReceive = func(m *msg.Msg) { arrivals = append(arrivals, eng.Now()); m.Free() }
+	a.Transmit(macB, msg.New(make([]byte, 1000)))
+	a.Transmit(macB, msg.New(make([]byte, 1000)))
+	eng.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if arrivals[0] != sim.Time(8*time.Millisecond) || arrivals[1] != sim.Time(16*time.Millisecond) {
+		t.Fatalf("arrivals = %v, want 8ms and 16ms (back-to-back serialization)", arrivals)
+	}
+}
+
+func TestLossDropsFrames(t *testing.T) {
+	eng := sim.New(7)
+	l := NewLink(eng, LinkConfig{Loss: 0.5})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	recv := 0
+	b.OnReceive = func(m *msg.Msg) { recv++; m.Free() }
+	const n = 1000
+	for i := 0; i < n; i++ {
+		a.Transmit(macB, msg.New([]byte("x")))
+	}
+	eng.Run()
+	if recv < 400 || recv > 600 {
+		t.Fatalf("received %d of %d with 50%% loss", recv, n)
+	}
+	sent, dropped, delivered := l.Stats()
+	if sent != n || dropped+delivered != n {
+		t.Fatalf("stats sent=%d dropped=%d delivered=%d", sent, dropped, delivered)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	eng := sim.New(3)
+	l := NewLink(eng, LinkConfig{BitsPerSec: 1 << 40, Delay: time.Millisecond, Jitter: time.Millisecond})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	var arr []sim.Time
+	b.OnReceive = func(m *msg.Msg) { arr = append(arr, eng.Now()); m.Free() }
+	for i := 0; i < 200; i++ {
+		a.Transmit(macB, msg.New([]byte("x")))
+	}
+	eng.Run()
+	for _, x := range arr {
+		d := x.Duration()
+		if d < time.Millisecond || d >= 2*time.Millisecond+time.Microsecond {
+			t.Fatalf("arrival %v outside [1ms, 2ms)", d)
+		}
+	}
+}
+
+func TestReceiveIRQChargesScheduler(t *testing.T) {
+	eng := sim.New(1)
+	cpu := sched.New(eng)
+	sched.AddDefaultPolicies(cpu, 4, 50, 50)
+	l := NewLink(eng, LinkConfig{})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, cpu)
+	b.RxIRQCost = 5 * time.Microsecond
+	got := 0
+	b.OnReceive = func(m *msg.Msg) { got++; m.Free() }
+	a.Transmit(macB, msg.New([]byte("x")))
+	eng.Run()
+	if got != 1 {
+		t.Fatal("frame not received")
+	}
+	if st := cpu.Stats(); st.IRQ != 5*time.Microsecond || st.Interrupts != 1 {
+		t.Fatalf("irq stats %+v", st)
+	}
+}
+
+func TestNilHandlerDrops(t *testing.T) {
+	eng := sim.New(1)
+	l := NewLink(eng, LinkConfig{})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	a.Transmit(macB, msg.New([]byte("x")))
+	eng.Run()
+	if _, _, dropped := b.Stats(); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestArrivalStamped(t *testing.T) {
+	eng := sim.New(1)
+	l := NewLink(eng, LinkConfig{Delay: 3 * time.Millisecond, BitsPerSec: 1 << 40})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	var stamp int64 = -1
+	b.OnReceive = func(m *msg.Msg) { stamp = m.Arrival; m.Free() }
+	a.Transmit(macB, msg.New([]byte("x")))
+	eng.Run()
+	if stamp != int64(3*time.Millisecond) {
+		t.Fatalf("Arrival = %v", time.Duration(stamp))
+	}
+}
+
+func TestGeneratorRate(t *testing.T) {
+	eng := sim.New(1)
+	l := NewLink(eng, LinkConfig{BitsPerSec: 1 << 40})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	recv := 0
+	b.OnReceive = func(m *msg.Msg) { recv++; m.Free() }
+	g := NewGenerator(a, macB, make([]byte, 64), time.Millisecond)
+	eng.RunUntil(sim.Time(100 * time.Millisecond))
+	g.Stop()
+	eng.Run()
+	if g.Sent() != 100 {
+		t.Fatalf("generator sent %d, want 100", g.Sent())
+	}
+	if recv != 100 {
+		t.Fatalf("received %d, want 100", recv)
+	}
+}
+
+func TestDuplicateMACPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate MAC accepted")
+		}
+	}()
+	eng := sim.New(1)
+	l := NewLink(eng, LinkConfig{})
+	NewDevice(l, macA, nil)
+	NewDevice(l, macA, nil)
+}

@@ -1,0 +1,283 @@
+// Package arp implements the ARP router of Figure 6: it resolves IP
+// addresses to Ethernet addresses for IP, and it listens to ARP traffic
+// through a "short/fat" path of its own (ARP→ETH), the paper's recommended
+// pattern for exceptional traffic (§2.5).
+package arp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"scout/internal/attr"
+	"scout/internal/core"
+	"scout/internal/msg"
+	"scout/internal/netdev"
+	"scout/internal/proto/eth"
+	"scout/internal/proto/inet"
+	"scout/internal/sched"
+)
+
+// NSIfaceType is the name-service interface type ("nsProvider"/"nsClient"
+// in Figure 6); the resolver service is symmetric in this reproduction.
+var NSIfaceType = core.NewIfaceType("ns", nil)
+
+// NSServiceType types the resolver service.
+var NSServiceType = &core.ServiceType{Name: "ns", Provides: NSIfaceType, Requires: NSIfaceType}
+
+// packetLen is the size of an ARP packet for Ethernet/IPv4.
+const packetLen = 28
+
+const (
+	opRequest = 1
+	opReply   = 2
+)
+
+type packet struct {
+	Op       uint16
+	SenderHW netdev.MAC
+	SenderIP inet.Addr
+	TargetHW netdev.MAC
+	TargetIP inet.Addr
+}
+
+func (p packet) put(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], 1)      // htype: Ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // ptype: IPv4
+	b[4], b[5] = 6, 4
+	binary.BigEndian.PutUint16(b[6:8], p.Op)
+	copy(b[8:14], p.SenderHW[:])
+	copy(b[14:18], p.SenderIP[:])
+	copy(b[18:24], p.TargetHW[:])
+	copy(b[24:28], p.TargetIP[:])
+}
+
+func parse(b []byte) (packet, error) {
+	if len(b) < packetLen {
+		return packet{}, errors.New("arp: short packet")
+	}
+	var p packet
+	p.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(p.SenderHW[:], b[8:14])
+	copy(p.SenderIP[:], b[14:18])
+	copy(p.TargetHW[:], b[18:24])
+	copy(p.TargetIP[:], b[24:28])
+	return p, nil
+}
+
+// Impl is the ARP router implementation.
+type Impl struct {
+	addr inet.Addr
+	cpu  *sched.Sched
+
+	// Priority is the RR priority of the ARP path's thread.
+	Priority int
+	// PerPacketCost is the CPU charged per processed ARP packet.
+	PerPacketCost time.Duration
+	// RequestTimeout and Retries bound resolution attempts.
+	RequestTimeout time.Duration
+	Retries        int
+
+	router  *core.Router
+	ethImpl *eth.Impl
+	path    *core.Path
+	thread  *sched.Thread
+
+	cache   map[inet.Addr]netdev.MAC
+	pending map[inet.Addr]*resolution
+
+	replies, requests int64
+}
+
+type resolution struct {
+	callbacks []func(netdev.MAC, bool)
+	tries     int
+	timer     interface{ Cancel() }
+}
+
+// New returns an ARP router for a host with address addr, scheduling its
+// path thread on cpu.
+func New(addr inet.Addr, cpu *sched.Sched) *Impl {
+	return &Impl{
+		addr:           addr,
+		cpu:            cpu,
+		Priority:       1,
+		PerPacketCost:  2 * time.Microsecond,
+		RequestTimeout: time.Second,
+		Retries:        3,
+		cache:          make(map[inet.Addr]netdev.MAC),
+		pending:        make(map[inet.Addr]*resolution),
+	}
+}
+
+// Services declares the resolver service (used by IP) and the down link to
+// ETH; ETH must be initialized first.
+func (a *Impl) Services() []core.ServiceSpec {
+	return []core.ServiceSpec{
+		{Name: "resolver", Type: NSServiceType},
+		{Name: "down", Type: core.NetServiceType, InitAfterPeers: true},
+	}
+}
+
+// Init binds the ARP ether type on ETH and creates the short/fat ARP path.
+func (a *Impl) Init(r *core.Router) error {
+	a.router = r
+	l, err := r.Link("down")
+	if err != nil {
+		return err
+	}
+	ei, ok := l.Peer.Impl.(*eth.Impl)
+	if !ok {
+		return fmt.Errorf("arp: down peer %s is not an ETH router", l.Peer.Name)
+	}
+	a.ethImpl = ei
+	ei.BindType(inet.EtherTypeARP, func(m *msg.Msg) (*core.Path, error) {
+		if a.path == nil {
+			return nil, core.ErrNoPath
+		}
+		return a.path, nil
+	})
+
+	// The initial path: boot-time routers create a handful of paths to
+	// receive network packets (§3.3).
+	p, err := r.Graph.CreatePath(r, attr.New().Set(attr.ProtID, inet.EtherTypeARP))
+	if err != nil {
+		return fmt.Errorf("arp: creating listen path: %w", err)
+	}
+	a.path = p
+	a.thread = sched.ServeIncoming(a.cpu, "arp", sched.PolicyRR, a.Priority, p, core.BWD)
+	return nil
+}
+
+// CreateStage contributes the ARP stage of the listen path.
+func (a *Impl) CreateStage(r *core.Router, enter int, at *attr.Attrs) (*core.Stage, *core.NextHop, error) {
+	if enter != core.NoService {
+		return nil, nil, errors.New("arp: paths may only start at ARP")
+	}
+	s := &core.Stage{}
+	// Inbound: process the ARP packet; this is the end of the path.
+	s.SetIface(core.BWD, core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+		i.Path().ChargeExec(a.PerPacketCost)
+		a.process(m)
+		return nil
+	}))
+	// Outbound: nothing to add; ETH builds the frame from the Tag MAC.
+	s.SetIface(core.FWD, core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+		return i.DeliverNext(m)
+	}))
+	l, err := r.Link("down")
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, &core.NextHop{Router: l.Peer, Service: l.PeerService}, nil
+}
+
+// Demux is unused: ETH classifies ARP frames straight to the listen path.
+func (a *Impl) Demux(r *core.Router, enter int, m *msg.Msg) (*core.Path, error) {
+	return a.path, nil
+}
+
+// process handles one inbound ARP packet (thread context).
+func (a *Impl) process(m *msg.Msg) {
+	defer m.Free()
+	p, err := parse(m.Bytes())
+	if err != nil {
+		return
+	}
+	switch p.Op {
+	case opRequest:
+		// Opportunistically learn the sender, then answer if it asks
+		// for us.
+		a.learn(p.SenderIP, p.SenderHW)
+		if p.TargetIP != a.addr {
+			return
+		}
+		a.replies++
+		reply := packet{
+			Op:       opReply,
+			SenderHW: a.ethImpl.MAC(),
+			SenderIP: a.addr,
+			TargetHW: p.SenderHW,
+			TargetIP: p.SenderIP,
+		}
+		a.send(reply, p.SenderHW)
+	case opReply:
+		a.learn(p.SenderIP, p.SenderHW)
+	}
+}
+
+func (a *Impl) learn(ip inet.Addr, mac netdev.MAC) {
+	a.cache[ip] = mac
+	if res, ok := a.pending[ip]; ok {
+		delete(a.pending, ip)
+		if res.timer != nil {
+			res.timer.Cancel()
+		}
+		for _, cb := range res.callbacks {
+			cb(mac, true)
+		}
+	}
+}
+
+func (a *Impl) send(p packet, dst netdev.MAC) {
+	out := msg.NewWithHeadroom(eth.HeaderLen, packetLen)
+	p.put(out.Bytes())
+	out.Tag = dst
+	if err := a.path.Inject(core.FWD, out); err != nil {
+		out.Free()
+	}
+	a.path.TakeExecCost() // FWD cost folded into the caller's execution
+}
+
+// Lookup consults the cache without sending anything.
+func (a *Impl) Lookup(ip inet.Addr) (netdev.MAC, bool) {
+	mac, ok := a.cache[ip]
+	return mac, ok
+}
+
+// Resolve maps ip to a MAC, invoking cb when the answer (or a timeout)
+// arrives. The callback runs immediately when the cache already knows.
+func (a *Impl) Resolve(ip inet.Addr, cb func(mac netdev.MAC, ok bool)) {
+	if mac, ok := a.cache[ip]; ok {
+		cb(mac, true)
+		return
+	}
+	res, inflight := a.pending[ip]
+	if !inflight {
+		res = &resolution{}
+		a.pending[ip] = res
+	}
+	res.callbacks = append(res.callbacks, cb)
+	if !inflight {
+		a.transmitRequest(ip, res)
+	}
+}
+
+func (a *Impl) transmitRequest(ip inet.Addr, res *resolution) {
+	res.tries++
+	a.requests++
+	req := packet{
+		Op:       opRequest,
+		SenderHW: a.ethImpl.MAC(),
+		SenderIP: a.addr,
+		TargetIP: ip,
+	}
+	a.send(req, netdev.Broadcast)
+	res.timer = a.cpu.Engine().After(a.RequestTimeout, func() {
+		if a.pending[ip] != res {
+			return // resolved meanwhile
+		}
+		if res.tries >= a.Retries {
+			delete(a.pending, ip)
+			for _, cb := range res.callbacks {
+				cb(netdev.MAC{}, false)
+			}
+			return
+		}
+		a.transmitRequest(ip, res)
+	})
+}
+
+// Stats reports (requests sent, replies sent).
+func (a *Impl) Stats() (requests, replies int64) { return a.requests, a.replies }

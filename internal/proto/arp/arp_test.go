@@ -1,0 +1,33 @@
+package arp
+
+import (
+	"testing"
+
+	"scout/internal/netdev"
+	"scout/internal/proto/inet"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := packet{
+		Op:       opRequest,
+		SenderHW: netdev.MAC{1, 2, 3, 4, 5, 6},
+		SenderIP: inet.IP(10, 0, 0, 1),
+		TargetHW: netdev.MAC{7, 8, 9, 10, 11, 12},
+		TargetIP: inet.IP(10, 0, 0, 2),
+	}
+	var b [packetLen]byte
+	p.put(b[:])
+	got, err := parse(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestParseShort(t *testing.T) {
+	if _, err := parse(make([]byte, packetLen-1)); err == nil {
+		t.Fatal("short packet accepted")
+	}
+}

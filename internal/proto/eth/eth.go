@@ -1,0 +1,219 @@
+// Package eth implements the ETH router: the Ethernet driver at the bottom
+// of the router graph (Figures 3, 6 and 9 of the paper). Its receive
+// interrupt runs the packet classifier so that arriving frames are placed in
+// the correct per-path input queue immediately — the early separation that
+// §4.3 identifies as one of the most significant advantages of paths.
+package eth
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"scout/internal/attr"
+	"scout/internal/core"
+	"scout/internal/msg"
+	"scout/internal/netdev"
+	"scout/internal/proto/inet"
+)
+
+// HeaderLen is the length of an Ethernet header.
+const HeaderLen = 14
+
+// Header is an Ethernet frame header.
+type Header struct {
+	Dst, Src netdev.MAC
+	Type     uint16
+}
+
+// Put writes the header into b, which must be at least HeaderLen bytes.
+func (h Header) Put(b []byte) {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.Type)
+}
+
+// Parse reads a header from the front of b.
+func Parse(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, errors.New("eth: short frame")
+	}
+	var h Header
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}
+
+// Stats counts classifier and driver behaviour.
+type Stats struct {
+	RxFrames    int64
+	RxNoPath    int64 // classifier found no path: frame discarded
+	RxQueueFull int64 // path input queue full: early discard
+	TxFrames    int64
+}
+
+// Impl is the ETH router implementation. One instance drives one netdev
+// device.
+type Impl struct {
+	dev    *netdev.Device
+	router *core.Router
+
+	// PerFrameCost is the protocol processing cost charged to a path
+	// execution when its ETH stage handles a frame.
+	PerFrameCost time.Duration
+
+	byType map[uint16]func(m *msg.Msg) (*core.Path, error)
+	stats  Stats
+}
+
+// New returns an ETH router driving dev.
+func New(dev *netdev.Device) *Impl {
+	return &Impl{dev: dev, byType: make(map[uint16]func(*msg.Msg) (*core.Path, error)), PerFrameCost: time.Microsecond}
+}
+
+// Services declares a single "up" service that any number of network
+// protocols connect to (IP and ARP in Figure 6).
+func (e *Impl) Services() []core.ServiceSpec {
+	return []core.ServiceSpec{{Name: "up", Type: core.NetServiceType}}
+}
+
+// Init installs the receive classifier on the device.
+func (e *Impl) Init(r *core.Router) error {
+	e.router = r
+	e.dev.OnReceive = e.receive
+	return nil
+}
+
+// Router returns the core router this implementation backs (valid after
+// graph build).
+func (e *Impl) Router() *core.Router { return e.router }
+
+// Device returns the NIC this router drives.
+func (e *Impl) Device() *netdev.Device { return e.dev }
+
+// MAC returns the device's hardware address.
+func (e *Impl) MAC() netdev.MAC { return e.dev.Addr }
+
+// BindType registers the classifier continuation for an Ethernet type;
+// upper routers (IP, ARP) call this from their Init. The continuation
+// receives the frame with the Ethernet header already stripped.
+func (e *Impl) BindType(etherType uint16, demux func(m *msg.Msg) (*core.Path, error)) {
+	if _, dup := e.byType[etherType]; dup {
+		panic(fmt.Sprintf("eth: ether type %#04x bound twice", etherType))
+	}
+	e.byType[etherType] = demux
+}
+
+// Stats returns a snapshot of driver counters.
+func (e *Impl) Stats() Stats { return e.stats }
+
+// receive runs in interrupt context: classify the frame, place it on the
+// right path's input queue, or discard it.
+func (e *Impl) receive(m *msg.Msg) {
+	e.stats.RxFrames++
+	p, err := e.Classify(m)
+	if err != nil {
+		e.stats.RxNoPath++
+		m.Free()
+		return
+	}
+	if p.EarlyDiscard != nil && p.EarlyDiscard(m) {
+		p.EarlyDiscards++
+		m.Free()
+		return
+	}
+	if !p.EnqueueIncoming(e.router.Name, m) {
+		e.stats.RxQueueFull++
+		m.Free()
+	}
+}
+
+// Classify maps a raw frame to a path. It leaves the message untouched
+// (headers are popped during classification and pushed back afterwards, so
+// the path's execution sees the whole frame).
+func (e *Impl) Classify(m *msg.Msg) (*core.Path, error) {
+	hdr, err := m.Peek(HeaderLen)
+	if err != nil {
+		return nil, err
+	}
+	h, err := Parse(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if h.Dst != e.dev.Addr && h.Dst != netdev.Broadcast {
+		return nil, core.ErrNoPath // not for us (promiscuous traffic)
+	}
+	next, ok := e.byType[h.Type]
+	if !ok {
+		return nil, core.ErrNoPath
+	}
+	if _, err := m.Pop(HeaderLen); err != nil {
+		return nil, err
+	}
+	p, err := next(m)
+	m.Push(HeaderLen) // restore the view; bytes are untouched
+	return p, err
+}
+
+// Demux implements the router demux operation by running the classifier.
+func (e *Impl) Demux(r *core.Router, enter int, m *msg.Msg) (*core.Path, error) {
+	return e.Classify(m)
+}
+
+// stageData holds the per-path state of an ETH stage.
+type stageData struct {
+	impl *Impl
+}
+
+// CreateStage contributes the ETH (leaf) stage of a path. Outbound messages
+// get an Ethernet header whose destination comes from the per-message Tag
+// (a netdev.MAC, for ARP and broadcast traffic) or from the path's
+// AttrEthDst attribute (set by IP once resolution completes); the Ethernet
+// type comes from PA_PROTID as refined by the router above (§4.1).
+func (e *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stage, *core.NextHop, error) {
+	s := &core.Stage{Data: &stageData{impl: e}}
+	etherType, _ := a.Int(attr.ProtID)
+
+	// Outbound (toward the wire). A path created on a device router top
+	// down reaches ETH last, so "toward the wire" is FWD; paths created
+	// bottom up are not supported by this driver.
+	out := core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+		p := i.Path()
+		p.ChargeExec(e.PerFrameCost)
+		dst, ok := m.Tag.(netdev.MAC)
+		if !ok {
+			v, have := p.Attrs.Get(inet.AttrEthDst)
+			if !have {
+				m.Free()
+				return errors.New("eth: no destination MAC for outbound frame")
+			}
+			dst = v.(netdev.MAC)
+		}
+		h := Header{Dst: dst, Src: e.dev.Addr, Type: uint16(etherType)}
+		h.Put(m.Push(HeaderLen))
+		e.stats.TxFrames++
+		e.dev.Transmit(dst, m)
+		return nil
+	})
+
+	// Inbound (from the wire): strip the header and continue up the path.
+	in := core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+		i.Path().ChargeExec(e.PerFrameCost)
+		hdr, err := m.Pop(HeaderLen)
+		if err != nil {
+			m.Free()
+			return err
+		}
+		if _, err := Parse(hdr); err != nil {
+			m.Free()
+			return err
+		}
+		return i.DeliverNext(m)
+	})
+
+	s.SetIface(core.FWD, out)
+	s.SetIface(core.BWD, in)
+	return s, nil, nil // leaf router: path creation ends here
+}

@@ -1,0 +1,44 @@
+package eth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scout/internal/netdev"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Dst:  netdev.MAC{1, 2, 3, 4, 5, 6},
+		Src:  netdev.MAC{7, 8, 9, 10, 11, 12},
+		Type: 0x0800,
+	}
+	var b [HeaderLen]byte
+	h.Put(b[:])
+	got, err := Parse(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip %+v != %+v", got, h)
+	}
+}
+
+func TestParseShort(t *testing.T) {
+	if _, err := Parse(make([]byte, HeaderLen-1)); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(dst, src [6]byte, typ uint16) bool {
+		h := Header{Dst: dst, Src: src, Type: typ}
+		var b [HeaderLen]byte
+		h.Put(b[:])
+		got, err := Parse(b[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

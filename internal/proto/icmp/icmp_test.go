@@ -1,0 +1,40 @@
+package icmp
+
+import (
+	"testing"
+
+	"scout/internal/proto/inet"
+)
+
+func TestEchoRoundTrip(t *testing.T) {
+	payload := []byte("ping payload")
+	b := make([]byte, HeaderLen)
+	Echo{Type: TypeEchoRequest, ID: 0x1234, Seq: 7}.Put(b, payload)
+	e, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Type != TypeEchoRequest || e.ID != 0x1234 || e.Seq != 7 {
+		t.Fatalf("round trip %+v", e)
+	}
+}
+
+func TestChecksumCoversPayload(t *testing.T) {
+	payload := []byte{1, 2, 3, 4}
+	b := make([]byte, HeaderLen+len(payload))
+	copy(b[HeaderLen:], payload)
+	Echo{Type: TypeEchoRequest, ID: 1, Seq: 1}.Put(b[:HeaderLen], b[HeaderLen:])
+	if inet.Checksum(b) != 0 {
+		t.Fatal("checksum over header+payload does not verify")
+	}
+	b[HeaderLen] ^= 0xff
+	if inet.Checksum(b) == 0 {
+		t.Fatal("payload corruption not detected")
+	}
+}
+
+func TestParseShort(t *testing.T) {
+	if _, err := Parse(make([]byte, HeaderLen-1)); err == nil {
+		t.Fatal("short message accepted")
+	}
+}

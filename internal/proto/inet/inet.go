@@ -1,0 +1,103 @@
+// Package inet holds the small pieces every networking router shares:
+// IPv4-style addresses, the participants attribute value (§4.1's
+// PA_NET_PARTICIPANTS), protocol numbers, and the Internet checksum.
+package inet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+// IP builds an address from four octets.
+func IP(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
+
+func (a Addr) String() string { return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3]) }
+
+// Uint32 returns the address in host integer form.
+func (a Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// AddrFromUint32 converts back from integer form.
+func AddrFromUint32(v uint32) Addr {
+	var a Addr
+	binary.BigEndian.PutUint32(a[:], v)
+	return a
+}
+
+// SameSubnet reports whether a and b share the network selected by mask —
+// the IP-local knowledge the paper uses as its path-creation example (§2.2:
+// "if IP can determine that the remote host is on the same Ethernet").
+func SameSubnet(a, b, mask Addr) bool {
+	for i := range a {
+		if a[i]&mask[i] != b[i]&mask[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Participants is the value of the PA_NET_PARTICIPANTS attribute: the
+// network address of the remote process a path talks to.
+type Participants struct {
+	RemoteAddr Addr
+	RemotePort uint16
+}
+
+func (p Participants) String() string {
+	return fmt.Sprintf("%s:%d", p.RemoteAddr, p.RemotePort)
+}
+
+// IP protocol numbers.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// Ethernet types (also carried in PA_PROTID when IP hands path creation to
+// ETH, mirroring the paper's "reset by each networking router" behaviour).
+const (
+	EtherTypeIP  = 0x0800
+	EtherTypeARP = 0x0806
+)
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumPseudo computes the checksum of payload prefixed by the UDP/TCP
+// pseudo-header.
+func ChecksumPseudo(src, dst Addr, proto uint8, payload []byte) uint16 {
+	ph := make([]byte, 12, 12+len(payload)+1)
+	copy(ph[0:4], src[:])
+	copy(ph[4:8], dst[:])
+	ph[9] = proto
+	binary.BigEndian.PutUint16(ph[10:12], uint16(len(payload)))
+	ph = append(ph, payload...)
+	return Checksum(ph)
+}
+
+// Attribute names used by the networking routers beyond the paper-named ones
+// in package attr.
+const (
+	// AttrEthDst carries the resolved destination MAC as a path
+	// attribute; IP's stage sets it once ARP answers, ETH's stage reads
+	// it per frame. Value: netdev.MAC.
+	AttrEthDst = "PA_ETH_DST"
+	// AttrLocalPort requests a specific local UDP/TCP port. Value: int.
+	AttrLocalPort = "PA_LOCAL_PORT"
+)

@@ -1,0 +1,96 @@
+package inet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrString(t *testing.T) {
+	if got := IP(10, 0, 0, 1).String(); got != "10.0.0.1" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestAddrUint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return AddrFromUint32(v).Uint32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameSubnet(t *testing.T) {
+	mask := IP(255, 255, 255, 0)
+	if !SameSubnet(IP(10, 0, 0, 1), IP(10, 0, 0, 200), mask) {
+		t.Fatal("same /24 not detected")
+	}
+	if SameSubnet(IP(10, 0, 0, 1), IP(10, 0, 1, 1), mask) {
+		t.Fatal("different /24 matched")
+	}
+	if !SameSubnet(IP(10, 0, 0, 1), IP(10, 77, 3, 9), IP(255, 0, 0, 0)) {
+		t.Fatal("same /8 not detected")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: the checksum of this sequence is 0xddf2 before
+	// complement... use the self-verification property instead: appending
+	// the checksum makes the total sum verify to 0.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	ck := Checksum(data)
+	withCk := append(append([]byte(nil), data...), byte(ck>>8), byte(ck))
+	if Checksum(withCk) != 0 {
+		t.Fatalf("checksum does not self-verify: %#04x", Checksum(withCk))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	data := []byte{0xab, 0xcd, 0xef}
+	ck := Checksum(data)
+	withCk := append(append([]byte(nil), data...), 0x00) // pad to even
+	_ = withCk
+	// Verify oddness handled: manual sum 0xabcd + 0xef00 = 0x19acd ->
+	// 0x9acd + 1 = 0x9ace -> ^0x9ace.
+	if ck != ^uint16(0x9ace) {
+		t.Fatalf("odd checksum = %#04x", ck)
+	}
+}
+
+func TestChecksumPseudoDetectsCorruption(t *testing.T) {
+	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
+	payload := []byte{1, 2, 3, 4, 5, 6, 0, 0} // checksum field zeroed
+	ck := ChecksumPseudo(src, dst, ProtoUDP, payload)
+	// Embed and verify.
+	payload[6] = byte(ck >> 8)
+	payload[7] = byte(ck)
+	if ChecksumPseudo(src, dst, ProtoUDP, payload) != 0 {
+		t.Fatal("pseudo checksum does not verify")
+	}
+	payload[0] ^= 0xff
+	if ChecksumPseudo(src, dst, ProtoUDP, payload) == 0 {
+		t.Fatal("corruption not detected")
+	}
+	payload[0] ^= 0xff // restore
+	// Note: swapping src and dst does NOT change a ones-complement sum
+	// (addition commutes) — a genuine limitation of the real Internet
+	// checksum, preserved here.
+	if ChecksumPseudo(dst, src, ProtoUDP, payload) != 0 {
+		t.Fatal("ones-complement commutativity violated")
+	}
+}
+
+// Property: checksum of data+checksum always verifies to zero.
+func TestPropertyChecksumSelfVerifies(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		ck := Checksum(data)
+		with := append(append([]byte(nil), data...), byte(ck>>8), byte(ck))
+		return Checksum(with) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

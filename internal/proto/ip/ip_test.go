@@ -1,0 +1,144 @@
+package ip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scout/internal/proto/inet"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		TotalLen: 1500,
+		ID:       0xbeef,
+		MF:       true,
+		FragOff:  1024,
+		TTL:      64,
+		Proto:    inet.ProtoUDP,
+		Src:      inet.IP(10, 0, 0, 1),
+		Dst:      inet.IP(10, 0, 0, 2),
+	}
+	var b [HeaderLen]byte
+	h.Put(b[:])
+	got, err := Parse(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestParseRejectsBadChecksum(t *testing.T) {
+	h := Header{TotalLen: 100, TTL: 64, Proto: 17, Src: inet.IP(1, 2, 3, 4), Dst: inet.IP(5, 6, 7, 8)}
+	var b [HeaderLen]byte
+	h.Put(b[:])
+	b[4] ^= 0x40 // corrupt the ID
+	if _, err := Parse(b[:]); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestParseRejectsBadVersion(t *testing.T) {
+	var b [HeaderLen]byte
+	Header{TotalLen: 20, TTL: 1}.Put(b[:])
+	b[0] = 0x46 // IHL 6: options unsupported
+	if _, err := Parse(b[:]); err == nil {
+		t.Fatal("options header accepted")
+	}
+}
+
+func TestParseShort(t *testing.T) {
+	if _, err := Parse(make([]byte, 10)); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestFragmented(t *testing.T) {
+	if (Header{}).Fragmented() {
+		t.Fatal("whole datagram reported fragmented")
+	}
+	if !(Header{MF: true}).Fragmented() {
+		t.Fatal("MF not fragmented")
+	}
+	if !(Header{FragOff: 8}).Fragmented() {
+		t.Fatal("offset fragment not fragmented")
+	}
+}
+
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(totalLen, id uint16, mf bool, off uint16, ttl, proto uint8, src, dst [4]byte) bool {
+		h := Header{
+			TotalLen: totalLen,
+			ID:       id,
+			MF:       mf,
+			FragOff:  int(off%fragOffMax) * 8 / 8 * 8, // 8-aligned, in range
+			TTL:      ttl,
+			Proto:    proto,
+			Src:      src,
+			Dst:      dst,
+		}
+		// FragOff must fit 13 bits as an 8-byte multiple.
+		h.FragOff = (int(off) % fragOffMax) &^ 7
+		var b [HeaderLen]byte
+		h.Put(b[:])
+		got, err := Parse(b[:])
+		if err != nil {
+			return false
+		}
+		// Parse reports FragOff in bytes.
+		want := h
+		want.FragOff = h.FragOff / 8 * 8
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteSelection(t *testing.T) {
+	p := New(Config{
+		Addr:    inet.IP(10, 0, 0, 10),
+		Mask:    inet.IP(255, 255, 255, 0),
+		Gateway: inet.IP(10, 0, 0, 1),
+	}, nil)
+	if got := p.route(inet.IP(10, 0, 0, 42)); got != inet.IP(10, 0, 0, 42) {
+		t.Fatalf("on-subnet routed to %v", got)
+	}
+	if got := p.route(inet.IP(192, 168, 1, 1)); got != inet.IP(10, 0, 0, 1) {
+		t.Fatalf("off-subnet routed to %v, want gateway", got)
+	}
+	noGW := New(Config{Addr: inet.IP(10, 0, 0, 10), Mask: inet.IP(255, 255, 255, 0)}, nil)
+	if got := noGW.route(inet.IP(192, 168, 1, 1)); got != (inet.Addr{}) {
+		t.Fatalf("no-gateway route = %v, want none", got)
+	}
+}
+
+func TestReasmCompleteness(t *testing.T) {
+	e := &reasmEntry{}
+	e.pieces = append(e.pieces, fragPiece{off: 0, data: make([]byte, 1024)})
+	if e.complete() {
+		t.Fatal("incomplete without last fragment")
+	}
+	e.pieces = append(e.pieces, fragPiece{off: 2048, data: make([]byte, 500)})
+	e.gotLast = true
+	e.totalLen = 2548
+	if e.complete() {
+		t.Fatal("hole not detected")
+	}
+	e.pieces = append(e.pieces, fragPiece{off: 1024, data: make([]byte, 1024)})
+	if !e.complete() {
+		t.Fatal("complete datagram not detected")
+	}
+}
+
+func TestReasmOverlapTolerated(t *testing.T) {
+	e := &reasmEntry{gotLast: true, totalLen: 1500}
+	e.pieces = []fragPiece{
+		{off: 0, data: make([]byte, 1000)},
+		{off: 800, data: make([]byte, 700)}, // overlaps
+	}
+	if !e.complete() {
+		t.Fatal("overlapping coverage not accepted")
+	}
+}

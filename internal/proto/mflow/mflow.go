@@ -1,0 +1,215 @@
+// Package mflow implements MFLOW, the paper's simple flow-control protocol
+// (§4.1): sequence numbers give ordered but not reliable delivery, the
+// receiver advertises the maximum sequence number it is willing to accept
+// based on the last processed packet and the input queue size, and a header
+// timestamp lets the sender measure round-trip latency (§4.2).
+package mflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"scout/internal/attr"
+	"scout/internal/core"
+	"scout/internal/msg"
+	"scout/internal/sim"
+)
+
+// HeaderLen is the length of an MFLOW header.
+const HeaderLen = 17
+
+// Packet kinds.
+const (
+	KindData = 1
+	KindAck  = 2
+)
+
+// Header is an MFLOW header. For data, Seq numbers the packet and TS is the
+// sender's send time. For acks, Seq is the last processed sequence number,
+// Win the advertised maximum acceptable sequence number, and TS echoes the
+// data packet's timestamp.
+type Header struct {
+	Kind uint8
+	Seq  uint32
+	Win  uint32
+	TS   int64
+}
+
+// Put writes the header into b[:HeaderLen].
+func (h Header) Put(b []byte) {
+	b[0] = h.Kind
+	binary.BigEndian.PutUint32(b[1:5], h.Seq)
+	binary.BigEndian.PutUint32(b[5:9], h.Win)
+	binary.BigEndian.PutUint64(b[9:17], uint64(h.TS))
+}
+
+// Parse reads a header from the front of b.
+func Parse(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, errors.New("mflow: short header")
+	}
+	return Header{
+		Kind: b[0],
+		Seq:  binary.BigEndian.Uint32(b[1:5]),
+		Win:  binary.BigEndian.Uint32(b[5:9]),
+		TS:   int64(binary.BigEndian.Uint64(b[9:17])),
+	}, nil
+}
+
+// Stats counts receiver behaviour.
+type Stats struct {
+	Delivered int64
+	OldDrops  int64 // duplicates and reordered-late packets dropped
+	Gaps      int64 // sequence numbers skipped (lost packets)
+	AcksSent  int64
+}
+
+// Impl is the MFLOW router implementation.
+type Impl struct {
+	eng *sim.Engine
+
+	// PerPacketCost is the CPU charged per MFLOW header processed.
+	PerPacketCost time.Duration
+	// AckEvery controls how many delivered packets elapse between window
+	// advertisements.
+	AckEvery int
+}
+
+// New returns an MFLOW router.
+func New(eng *sim.Engine) *Impl {
+	return &Impl{eng: eng, PerPacketCost: time.Microsecond, AckEvery: 1}
+}
+
+// Services declares up (MPEG) and down (UDP, init first).
+func (f *Impl) Services() []core.ServiceSpec {
+	return []core.ServiceSpec{
+		{Name: "up", Type: core.NetServiceType},
+		{Name: "down", Type: core.NetServiceType, InitAfterPeers: true},
+	}
+}
+
+// Init has nothing to wire: classification ends at UDP, whose stage already
+// identifies the path.
+func (f *Impl) Init(r *core.Router) error { return nil }
+
+// Demux refines nothing; UDP's table is decisive for MFLOW traffic.
+func (f *Impl) Demux(r *core.Router, enter int, m *msg.Msg) (*core.Path, error) {
+	return nil, core.ErrNoPath
+}
+
+// flowState is the per-path receiver/sender state.
+type flowState struct {
+	impl     *Impl
+	lastSeq  uint32 // last sequence delivered upward
+	started  bool
+	nextOut  uint32 // sender-side next sequence
+	sinceAck int
+	inQ      *core.Queue
+	stats    Stats
+}
+
+// CreateStage contributes the MFLOW stage.
+func (f *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stage, *core.NextHop, error) {
+	fs := &flowState{impl: f}
+	s := &core.Stage{Data: fs}
+	s.SetIface(core.FWD, core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+		return fs.output(i, m)
+	}))
+	s.SetIface(core.BWD, core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+		return fs.input(i, m)
+	}))
+	s.Establish = func(s *core.Stage, a *attr.Attrs) error {
+		// The input queue whose free space backs the advertised window
+		// sits at the device end of the path.
+		d, ok := s.Path.IncomingDir(s.Path.End[1].Router.Name)
+		if !ok {
+			d = core.BWD
+		}
+		fs.inQ = s.Path.Q[core.QIn(d)]
+		return nil
+	}
+	down, err := r.Link("down")
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, &core.NextHop{Router: down.Peer, Service: down.PeerService}, nil
+}
+
+// output sends a data packet (Scout as MFLOW sender).
+func (fs *flowState) output(i *core.NetIface, m *msg.Msg) error {
+	f := fs.impl
+	i.Path().ChargeExec(f.PerPacketCost)
+	fs.nextOut++
+	h := Header{Kind: KindData, Seq: fs.nextOut, TS: int64(f.eng.Now())}
+	h.Put(m.Push(HeaderLen))
+	return i.DeliverNext(m)
+}
+
+// input processes an arriving data packet: drop stale sequence numbers,
+// deliver the rest in arrival order, and advertise the window.
+func (fs *flowState) input(i *core.NetIface, m *msg.Msg) error {
+	f := fs.impl
+	p := i.Path()
+	p.ChargeExec(f.PerPacketCost)
+	raw, err := m.Pop(HeaderLen)
+	if err != nil {
+		m.Free()
+		return err
+	}
+	h, err := Parse(raw)
+	if err != nil {
+		m.Free()
+		return err
+	}
+	if h.Kind != KindData {
+		m.Free() // receiver side ignores stray acks
+		return nil
+	}
+	if fs.started && h.Seq <= fs.lastSeq {
+		fs.stats.OldDrops++
+		m.Free()
+		return nil
+	}
+	if fs.started && h.Seq > fs.lastSeq+1 {
+		fs.stats.Gaps += int64(h.Seq - fs.lastSeq - 1)
+	}
+	fs.lastSeq = h.Seq
+	fs.started = true
+	fs.stats.Delivered++
+	fs.sinceAck++
+	if f.AckEvery > 0 && fs.sinceAck >= f.AckEvery {
+		fs.sinceAck = 0
+		fs.sendAck(i, h.TS)
+	}
+	return i.DeliverNext(m)
+}
+
+// sendAck turns a window advertisement around onto the path's opposite
+// direction (§2.4.1's turn-around is exactly this).
+func (fs *flowState) sendAck(i *core.NetIface, tsEcho int64) {
+	win := fs.lastSeq
+	if fs.inQ != nil {
+		win += uint32(fs.inQ.Free())
+	}
+	ack := msg.NewWithHeadroom(64, HeaderLen)
+	Header{Kind: KindAck, Seq: fs.lastSeq, Win: win, TS: tsEcho}.Put(ack.Bytes())
+	fs.stats.AcksSent++
+	if err := i.DeliverBack(ack); err != nil {
+		ack.Free()
+	}
+}
+
+// StatsOf returns the MFLOW statistics of path p, if it has an MFLOW stage
+// owned by the named router.
+func StatsOf(p *core.Path, routerName string) (Stats, bool) {
+	s := p.StageOf(routerName)
+	if s == nil {
+		return Stats{}, false
+	}
+	fs, ok := s.Data.(*flowState)
+	if !ok {
+		return Stats{}, false
+	}
+	return fs.stats, true
+}

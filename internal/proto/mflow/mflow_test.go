@@ -1,0 +1,38 @@
+package mflow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Kind: KindData, Seq: 12345, Win: 67890, TS: 1234567890123}
+	var b [HeaderLen]byte
+	h.Put(b[:])
+	got, err := Parse(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip %+v != %+v", got, h)
+	}
+}
+
+func TestParseShort(t *testing.T) {
+	if _, err := Parse(make([]byte, HeaderLen-1)); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(kind uint8, seq, win uint32, ts int64) bool {
+		h := Header{Kind: kind, Seq: seq, Win: win, TS: ts}
+		var b [HeaderLen]byte
+		h.Put(b[:])
+		got, err := Parse(b[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

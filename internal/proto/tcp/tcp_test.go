@@ -1,0 +1,79 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		SrcPort: 42000, DstPort: 80,
+		Seq: 0xdeadbeef, Ack: 0xfeedface,
+		Flags: FlagSYN | FlagACK, Win: 32768, Checksum: 0,
+	}
+	var b [HeaderLen]byte
+	h.Put(b[:])
+	got, err := Parse(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestParseRejectsOptions(t *testing.T) {
+	var b [HeaderLen]byte
+	Header{Flags: FlagSYN}.Put(b[:])
+	b[12] = 6 << 4 // data offset 6: options present
+	if _, err := Parse(b[:]); err == nil {
+		t.Fatal("options header accepted")
+	}
+}
+
+func TestParseShort(t *testing.T) {
+	if _, err := Parse(make([]byte, HeaderLen-1)); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint16, win uint16) bool {
+		h := Header{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: flags & 0x3f, Win: win}
+		var b [HeaderLen]byte
+		h.Put(b[:])
+		got, err := Parse(b[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqLEQWraparound(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{0, 0, true},
+		{1, 2, true},
+		{2, 1, false},
+		{0xfffffff0, 5, true}, // wrapped forward
+		{5, 0xfffffff0, false},
+	}
+	for _, c := range cases {
+		if got := seqLEQ(c.a, c.b); got != c.want {
+			t.Errorf("seqLEQ(%#x, %#x) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestConnStateString(t *testing.T) {
+	c := &conn{state: stEstablished}
+	if (&Conn{c: c}).State() != "established" {
+		t.Fatal("state string wrong")
+	}
+	if !(&Conn{c: c}).Established() {
+		t.Fatal("Established false")
+	}
+}

@@ -1,0 +1,51 @@
+package udp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{SrcPort: 7000, DstPort: 5001, Length: 1408, Checksum: 0xabcd}
+	var b [HeaderLen]byte
+	h.Put(b[:])
+	got, err := Parse(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip %+v != %+v", got, h)
+	}
+}
+
+func TestParseShort(t *testing.T) {
+	if _, err := Parse(make([]byte, 7)); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(sp, dp, ln, ck uint16) bool {
+		h := Header{SrcPort: sp, DstPort: dp, Length: ln, Checksum: ck}
+		var b [HeaderLen]byte
+		h.Put(b[:])
+		got, err := Parse(b[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEphemeralPortsDistinct(t *testing.T) {
+	u := New()
+	seen := map[uint16]bool{}
+	for i := 0; i < 100; i++ {
+		p := u.allocPort()
+		if seen[p] {
+			t.Fatalf("port %d allocated twice", p)
+		}
+		seen[p] = true
+		u.wildcard[p] = nil // simulate the binding that establish creates
+	}
+}

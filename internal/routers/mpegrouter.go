@@ -1,0 +1,220 @@
+package routers
+
+import (
+	"errors"
+	"time"
+
+	"scout/internal/attr"
+	"scout/internal/core"
+	"scout/internal/display"
+	"scout/internal/mpeg"
+	"scout/internal/msg"
+)
+
+// CostModel translates work into virtual CPU time. The per-bit term encodes
+// the paper's observation that decode time correlates with frame size in
+// bits (§4.4); the per-pixel term covers dithering and display conversion,
+// the other dominant cost (§4.1). Defaults are calibrated so the Scout
+// column of Table 1 lands at the paper's absolute frame rates on the
+// 300 MHz Alpha (see EXPERIMENTS.md for the arithmetic).
+type CostModel struct {
+	PerPacket time.Duration // header handling per ALF packet
+	PerBit    time.Duration // decompression per encoded bit
+	PerPixel  time.Duration // dithering + display conversion per pixel
+}
+
+// DefaultCostModel reproduces the Alpha-era absolute numbers.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerPacket: 5 * time.Microsecond,
+		PerBit:    300 * time.Nanosecond,
+		PerPixel:  30 * time.Nanosecond,
+	}
+}
+
+// MPEGImpl is the MPEG router: it accepts ALF packets from MFLOW, decodes
+// them, and forwards completed frames to DISPLAY.
+type MPEGImpl struct {
+	// Model is the CPU cost model charged per packet/frame.
+	Model CostModel
+}
+
+// NewMPEG returns an MPEG router with the default cost model.
+func NewMPEG() *MPEGImpl {
+	return &MPEGImpl{Model: DefaultCostModel()}
+}
+
+// Services declares up (to DISPLAY, video frames) and down (to MFLOW).
+func (mp *MPEGImpl) Services() []core.ServiceSpec {
+	return []core.ServiceSpec{
+		{Name: "up", Type: VideoServiceType},
+		{Name: "down", Type: core.NetServiceType, InitAfterPeers: true},
+	}
+}
+
+// Init has no work; MPEG paths are created on DISPLAY at runtime.
+func (mp *MPEGImpl) Init(r *core.Router) error { return nil }
+
+// Demux refines nothing; classification ends at UDP.
+func (mp *MPEGImpl) Demux(r *core.Router, enter int, m *msg.Msg) (*core.Path, error) {
+	return nil, core.ErrNoPath
+}
+
+// mpegStage is the per-path decode state.
+type mpegStage struct {
+	impl     *MPEGImpl
+	costOnly bool
+	dec      *mpeg.Decoder
+	hdrDec   *mpeg.HeaderDecoder
+	frameSeq int
+	bitsAcc  int // encoded bits since the last completed frame
+
+	// Stats
+	Packets int64
+	Frames  int64
+	Errors  int64
+}
+
+// CreateStage contributes the MPEG decode stage. The path must enter from
+// DISPLAY (the "up" side); creation continues toward MFLOW.
+func (mp *MPEGImpl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stage, *core.NextHop, error) {
+	if enter == core.NoService {
+		return nil, nil, errors.New("mpeg: paths start at DISPLAY, not MPEG")
+	}
+	sd := &mpegStage{impl: mp}
+	if v, ok := a.Get(AttrCostModel); ok {
+		sd.costOnly, _ = v.(bool)
+	}
+	if sd.costOnly {
+		sd.hdrDec = &mpeg.HeaderDecoder{}
+	} else {
+		sd.dec = mpeg.NewDecoder()
+	}
+
+	s := &core.Stage{Data: sd}
+	// Path creation ran DISPLAY→…→ETH, so packets to decode travel BWD:
+	// the BWD interface is the decode function, and its Next in the BWD
+	// chain is DISPLAY's video interface.
+	s.SetIface(core.BWD, core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+		return sd.input(i, m)
+	}))
+	s.SetIface(core.FWD, core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+		return i.DeliverNext(m) // passthrough for outbound control traffic
+	}))
+
+	if n := a.IntDefault(AttrDecimate, 1); n > 1 {
+		s.Establish = func(s *core.Stage, a *attr.Attrs) error {
+			s.Path.EarlyDiscard = DecimationFilter(n)
+			return nil
+		}
+	}
+
+	mfl, err := r.Link("down")
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, &core.NextHop{Router: mfl.Peer, Service: mfl.PeerService}, nil
+}
+
+// DecimationFilter peeks the ALF frame number through the stacked headers
+// of a raw frame and discards packets of frames that will not be displayed.
+// It runs at interrupt time, before any queueing (§4.4).
+func DecimationFilter(n int) func(any) bool {
+	// Offset of the ALF header within a full Ethernet frame.
+	const off = 14 /*eth*/ + 20 /*ip*/ + 8 /*udp*/ + 17 /*mflow*/
+	return func(item any) bool {
+		m, ok := item.(*msg.Msg)
+		if !ok {
+			return false
+		}
+		hdr, err := m.Peek(off + 4)
+		if err != nil {
+			return false
+		}
+		frameNo := uint32(hdr[off])<<24 | uint32(hdr[off+1])<<16 | uint32(hdr[off+2])<<8 | uint32(hdr[off+3])
+		return frameNo%uint32(n) != 0
+	}
+}
+
+// input decodes one ALF packet; on frame completion the frame continues to
+// the DISPLAY stage through the video interface.
+func (sd *mpegStage) input(i *core.NetIface, m *msg.Msg) error {
+	mp := sd.impl
+	p := i.Path()
+	sd.Packets++
+	p.ChargeExec(mp.Model.PerPacket)
+	pkt, err := mpeg.ParsePacket(m.Bytes())
+	if err != nil {
+		sd.Errors++
+		m.Free()
+		return err
+	}
+	// The decompression cost is proportional to the encoded bits (§4.4).
+	bits := len(pkt.Data) * 8
+	p.ChargeExec(time.Duration(bits) * mp.Model.PerBit)
+	sd.bitsAcc += bits
+
+	var done *display.Frame
+	if sd.costOnly {
+		tf, err := sd.hdrDec.Consume(pkt)
+		if err != nil {
+			sd.Errors++
+			m.Free()
+			return err
+		}
+		if tf != nil {
+			done = &display.Frame{
+				Seq:  int(tf.No),
+				W:    int(pkt.MBW) * 16,
+				H:    int(pkt.MBH) * 16,
+				Bits: tf.Bits,
+			}
+		}
+	} else {
+		f, err := sd.dec.Decode(pkt)
+		if err != nil && f == nil {
+			sd.Errors++
+			m.Free()
+			return err
+		}
+		if f != nil {
+			done = &display.Frame{
+				Seq: sd.frameSeq,
+				W:   f.W,
+				H:   f.H,
+			}
+			done.Pixels = mpeg.DitherRGB332(f, nil)
+		}
+	}
+	m.Free()
+	if done == nil {
+		return nil
+	}
+	sd.Frames++
+	sd.frameSeq++
+	done.Seq = sd.frameSeq - 1
+	done.Bits = sd.bitsAcc // per-frame encoded size, for the §4.4 model
+	sd.bitsAcc = 0
+	// Dithering cost is charged by the DISPLAY stage (it owns that work
+	// conceptually); pass the frame to the next stage in the BWD chain,
+	// which speaks the video interface.
+	nx := i.Next
+	vi, ok := nx.(*VideoIface)
+	if !ok || vi.DeliverFrame == nil {
+		return core.ErrEndOfPath
+	}
+	return vi.DeliverFrame(vi, done)
+}
+
+// MPEGStats reports per-path decode counters.
+func MPEGStats(p *core.Path, routerName string) (packets, frames, errs int64, ok bool) {
+	s := p.StageOf(routerName)
+	if s == nil {
+		return 0, 0, 0, false
+	}
+	sd, isMPEG := s.Data.(*mpegStage)
+	if !isMPEG {
+		return 0, 0, 0, false
+	}
+	return sd.Packets, sd.Frames, sd.Errors, true
+}

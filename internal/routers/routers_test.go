@@ -1,0 +1,78 @@
+package routers
+
+import (
+	"testing"
+	"time"
+
+	"scout/internal/msg"
+	"scout/internal/proto/eth"
+	"scout/internal/proto/inet"
+	"scout/internal/proto/ip"
+	"scout/internal/proto/mflow"
+	"scout/internal/proto/udp"
+)
+
+// buildFrameForDecimation assembles a full wire frame carrying an ALF packet
+// with the given frame number, as the early-discard filter sees it.
+func buildFrameForDecimation(frameNo uint32) *msg.Msg {
+	const payload = 32
+	total := eth.HeaderLen + ip.HeaderLen + udp.HeaderLen + mflow.HeaderLen + 4 + payload
+	buf := make([]byte, total)
+	eth.Header{Type: inet.EtherTypeIP}.Put(buf)
+	ih := ip.Header{TotalLen: uint16(total - eth.HeaderLen), TTL: 64, Proto: inet.ProtoUDP}
+	ih.Put(buf[eth.HeaderLen:])
+	udp.Header{Length: uint16(total - eth.HeaderLen - ip.HeaderLen)}.Put(buf[eth.HeaderLen+ip.HeaderLen:])
+	mflow.Header{Kind: mflow.KindData, Seq: 1}.Put(buf[eth.HeaderLen+ip.HeaderLen+udp.HeaderLen:])
+	off := eth.HeaderLen + ip.HeaderLen + udp.HeaderLen + mflow.HeaderLen
+	buf[off] = byte(frameNo >> 24)
+	buf[off+1] = byte(frameNo >> 16)
+	buf[off+2] = byte(frameNo >> 8)
+	buf[off+3] = byte(frameNo)
+	return msg.New(buf)
+}
+
+func TestDecimationFilter(t *testing.T) {
+	f := DecimationFilter(3)
+	for frameNo := uint32(0); frameNo < 9; frameNo++ {
+		m := buildFrameForDecimation(frameNo)
+		drop := f(m)
+		wantDrop := frameNo%3 != 0
+		if drop != wantDrop {
+			t.Errorf("frame %d: drop=%v want %v", frameNo, drop, wantDrop)
+		}
+		if m.Len() != 14+20+8+17+4+32 {
+			t.Fatalf("filter consumed bytes from the message")
+		}
+	}
+}
+
+func TestDecimationFilterShortFrame(t *testing.T) {
+	f := DecimationFilter(3)
+	if f(msg.New([]byte("short"))) {
+		t.Fatal("short frame dropped (must pass through to the normal error path)")
+	}
+	if f("not a message") {
+		t.Fatal("non-message dropped")
+	}
+}
+
+func TestDefaultCostModelMatchesTable1Arithmetic(t *testing.T) {
+	// Neptune ≈ 58.2kbit average frames at 352×240 should decode+display
+	// in ≈20ms under the default model — the paper's 49.9 fps.
+	m := DefaultCostModel()
+	bits := 58200.0
+	pixels := 352.0 * 240.0
+	perFrame := time.Duration(bits)*m.PerBit + time.Duration(pixels)*m.PerPixel +
+		5*m.PerPacket // ≈5 packets per frame
+	fps := float64(time.Second) / float64(perFrame)
+	if fps < 45 || fps > 55 {
+		t.Fatalf("default model gives %.1f fps for Neptune-like frames, want ≈50", fps)
+	}
+}
+
+func TestVideoIfaceEndOfChain(t *testing.T) {
+	a := NewVideoIface(nil)
+	if err := a.DeliverNextFrame(nil); err == nil {
+		t.Fatal("delivery past end of chain succeeded")
+	}
+}

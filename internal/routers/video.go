@@ -1,0 +1,67 @@
+// Package routers implements the application routers of the paper's Figure
+// 9 — MPEG, DISPLAY, SHELL — plus the TEST router of Figure 7 and the
+// path-transformation rules the demonstration uses. Together with the
+// protocol routers (packages under internal/proto) they form the Scout MPEG
+// appliance kernel.
+package routers
+
+import (
+	"scout/internal/core"
+	"scout/internal/display"
+)
+
+// VideoIfaceType is the interface type spoken between MPEG and DISPLAY:
+// whole decoded frames rather than network messages. Scout deliberately
+// keeps the number of interface types small (§3.1); this reproduction has
+// net, ns, video and file.
+var VideoIfaceType = core.NewIfaceType("video", nil)
+
+// VideoServiceType types the MPEG↔DISPLAY edge.
+var VideoServiceType = &core.ServiceType{Name: "video", Provides: VideoIfaceType, Requires: VideoIfaceType}
+
+// VideoIface delivers decoded frames toward the framebuffer.
+type VideoIface struct {
+	core.BaseIface
+	// DeliverFrame processes frame f at this interface.
+	DeliverFrame func(i *VideoIface, f *display.Frame) error
+}
+
+// NewVideoIface returns a VideoIface with the given deliver function.
+func NewVideoIface(deliver func(i *VideoIface, f *display.Frame) error) *VideoIface {
+	return &VideoIface{DeliverFrame: deliver}
+}
+
+// DeliverNextFrame passes f to the next video interface in this direction.
+func (i *VideoIface) DeliverNextFrame(f *display.Frame) error {
+	nx := i.Next
+	if nx == nil {
+		return core.ErrEndOfPath
+	}
+	vi, ok := nx.(*VideoIface)
+	if !ok || vi.DeliverFrame == nil {
+		return core.ErrEndOfPath
+	}
+	return vi.DeliverFrame(vi, f)
+}
+
+// Attribute names used by the video paths.
+const (
+	// AttrFPS is the playback frame rate (int).
+	AttrFPS = "PA_MPEG_FPS"
+	// AttrFrames is the expected clip length in frames (int, 0=open).
+	AttrFrames = "PA_MPEG_FRAMES"
+	// AttrSched selects the path's scheduling policy ("edf" or "rr").
+	AttrSched = "PA_SCHED"
+	// AttrPriority is the RR priority for AttrSched="rr" (int).
+	AttrPriority = "PA_PRIORITY"
+	// AttrCostModel selects header-only decode with modeled CPU cost
+	// (bool true) instead of full pixel decode.
+	AttrCostModel = "PA_COST_MODEL"
+	// AttrDeadlineFrom overrides bottleneck-queue selection for deadline
+	// computation: "out" (default, §4.3), "in", or "min".
+	AttrDeadlineFrom = "PA_DEADLINE_FROM"
+	// AttrDecimate displays only every Nth frame; with it set, the MPEG
+	// stage installs an early-discard filter so packets of skipped
+	// frames are dropped at the network adapter (§4.4). Value: int N>1.
+	AttrDecimate = "PA_DECIMATE"
+)

@@ -1,0 +1,136 @@
+package sched
+
+import "container/heap"
+
+// PolicyRR and PolicyEDF are the conventional names for the two policies the
+// paper implements (§3.4); helpers below register them.
+const (
+	PolicyRR  = "rr"
+	PolicyEDF = "edf"
+)
+
+// RRQueue is a fixed-priority round-robin ready queue: priority 0 is most
+// urgent; within a level, threads run in wake order. This is Scout's default
+// policy.
+type RRQueue struct {
+	levels [][]*Thread
+}
+
+// NewRRQueue returns a round-robin queue with the given number of priority
+// levels.
+func NewRRQueue(levels int) *RRQueue {
+	if levels <= 0 {
+		panic("sched: RR queue needs at least one level")
+	}
+	return &RRQueue{levels: make([][]*Thread, levels)}
+}
+
+// Push adds t at the tail of its priority level. Out-of-range priorities are
+// clamped rather than rejected, so a path asking for "next lower priority"
+// near the bottom still schedules.
+func (q *RRQueue) Push(t *Thread) {
+	l := t.prio
+	if l < 0 {
+		l = 0
+	}
+	if l >= len(q.levels) {
+		l = len(q.levels) - 1
+	}
+	q.levels[l] = append(q.levels[l], t)
+}
+
+// Pop removes and returns the head of the highest non-empty level.
+func (q *RRQueue) Pop() *Thread {
+	for l := range q.levels {
+		if n := len(q.levels[l]); n > 0 {
+			t := q.levels[l][0]
+			copy(q.levels[l], q.levels[l][1:])
+			q.levels[l][n-1] = nil
+			q.levels[l] = q.levels[l][:n-1]
+			return t
+		}
+	}
+	return nil
+}
+
+// Remove deletes t wherever it is queued.
+func (q *RRQueue) Remove(t *Thread) {
+	for l := range q.levels {
+		for i, x := range q.levels[l] {
+			if x == t {
+				q.levels[l] = append(q.levels[l][:i], q.levels[l][i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Len reports the number of queued threads.
+func (q *RRQueue) Len() int {
+	n := 0
+	for _, l := range q.levels {
+		n += len(l)
+	}
+	return n
+}
+
+// EDFQueue is an earliest-deadline-first ready queue; ties break in wake
+// order. Threads without a deadline (sim.Never) sort last.
+type EDFQueue struct {
+	h edfHeap
+}
+
+// NewEDFQueue returns an empty EDF queue.
+func NewEDFQueue() *EDFQueue { return &EDFQueue{} }
+
+type edfHeap []*Thread
+
+func (h edfHeap) Len() int { return len(h) }
+func (h edfHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].fifo < h[j].fifo
+}
+func (h edfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *edfHeap) Push(x any)   { *h = append(*h, x.(*Thread)) }
+func (h *edfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Push queues t by deadline.
+func (q *EDFQueue) Push(t *Thread) { heap.Push(&q.h, t) }
+
+// Pop removes and returns the thread with the earliest deadline.
+func (q *EDFQueue) Pop() *Thread {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Thread)
+}
+
+// Remove deletes t from the queue.
+func (q *EDFQueue) Remove(t *Thread) {
+	for i, x := range q.h {
+		if x == t {
+			heap.Remove(&q.h, i)
+			return
+		}
+	}
+}
+
+// Len reports the number of queued threads.
+func (q *EDFQueue) Len() int { return len(q.h) }
+
+// AddDefaultPolicies registers the paper's two policies — fixed-priority
+// round-robin (the default, with rrLevels priority levels) and EDF — with
+// the given CPU shares.
+func AddDefaultPolicies(s *Sched, rrLevels, rrShare, edfShare int) {
+	s.AddPolicy(PolicyRR, NewRRQueue(rrLevels), rrShare)
+	s.AddPolicy(PolicyEDF, NewEDFQueue(), edfShare)
+}

@@ -1,0 +1,228 @@
+// Package sim provides the discrete-event simulation engine that the Scout
+// reproduction runs on: a virtual clock, an event queue, and a deterministic
+// random source.
+//
+// The paper's scheduling experiments (Tables 1-2 and the EDF-vs-RR study)
+// depend on relative CPU costs and queueing structure, not on wall-clock
+// behaviour of a 1996 Alpha. Running the kernel on a virtual clock makes
+// every experiment deterministic and repeatable while preserving the
+// structural properties the paper measures. Wall-clock microbenchmarks
+// (path creation, demux) bypass this package entirely and use testing.B.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, expressed in nanoseconds since boot.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration elapsed since boot.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds since boot.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Never is a sentinel meaning "no deadline"; it sorts after every real time.
+const Never Time = 1<<63 - 1
+
+// Event is a scheduled callback. It is returned by At/After so callers can
+// cancel it before it fires.
+type Event struct {
+	when     Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 if not queued
+	canceled bool
+}
+
+// When reports the virtual time at which the event will fire.
+func (ev *Event) When() Time { return ev.when }
+
+// Cancel prevents the event from firing. Canceling an event that already
+// fired or was already canceled is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// New. Engines are not safe for concurrent use: the whole simulated kernel
+// is single-threaded, exactly like Scout's non-preemptive core.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns an engine with its clock at 0 and a deterministic random
+// source derived from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (or at
+// the present) runs the event at the current time, after already-pending
+// events for that time.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At with nil func")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d behaves like d == 0.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Pending reports the number of events queued (including canceled events
+// that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step runs the next event. It reports false when no runnable event remains.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.when < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.when))
+		}
+		e.now = ev.when
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with firing times <= t, then advances the clock
+// to t. Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.when > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor is RunUntil(Now().Add(d)).
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		if ev := e.events[0]; !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}
+
+// Ticker fires a callback periodically until stopped.
+type Ticker struct {
+	e      *Engine
+	period time.Duration
+	fn     func()
+	ev     *Event
+	stop   bool
+}
+
+// Tick schedules fn every period, first firing one period from now.
+// It panics if period <= 0.
+func (e *Engine) Tick(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Tick with non-positive period")
+	}
+	t := &Ticker{e: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.e.After(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := New(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	e := New(1)
+	var fired Time
+	e.After(5*time.Millisecond, func() { fired = e.Now() })
+	e.Run()
+	if fired != Time(5*time.Millisecond) {
+		t.Fatalf("fired at %v, want 5ms", fired)
+	}
+	if e.Now() != Time(5*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 5ms", e.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(time.Second), func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.After(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.After(2*time.Second, func() { fired = true })
+	e.After(1*time.Second, func() { ev.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	e := New(1)
+	var fired Time = -1
+	e.After(time.Second, func() {
+		e.At(0, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != Time(time.Second) {
+		t.Fatalf("past event fired at %v, want clamp to 1s", fired)
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := New(1)
+	early, late := false, false
+	e.After(1*time.Second, func() { early = true })
+	e.After(3*time.Second, func() { late = true })
+	e.RunUntil(Time(2 * time.Second))
+	if !early || late {
+		t.Fatalf("early=%v late=%v, want true,false", early, late)
+	}
+	if e.Now() != Time(2*time.Second) {
+		t.Fatalf("Now() = %v, want 2s", e.Now())
+	}
+	e.Run()
+	if !late {
+		t.Fatal("late event lost")
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	e := New(1)
+	at := false
+	e.After(2*time.Second, func() { at = true })
+	e.RunUntil(Time(2 * time.Second))
+	if !at {
+		t.Fatal("event at the RunUntil boundary did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.After(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	e.Run() // resume
+	if count != 10 {
+		t.Fatalf("after resume count = %d, want 10", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	var ticks []Time
+	tk := e.Tick(10*time.Millisecond, func() {
+		ticks = append(ticks, e.Now())
+	})
+	e.RunUntil(Time(35 * time.Millisecond))
+	tk.Stop()
+	e.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3 (%v)", len(ticks), ticks)
+	}
+	for i, tt := range ticks {
+		want := Time((i + 1) * 10 * int(time.Millisecond))
+		if tt != want {
+			t.Fatalf("tick %d at %v, want %v", i, tt, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := New(1)
+	n := 0
+	var tk *Ticker
+	tk = e.Tick(time.Millisecond, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 2 {
+		t.Fatalf("ticker fired %d times after in-callback Stop, want 2", n)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestNeverSortsLast(t *testing.T) {
+	if Never <= Time(1<<62) {
+		t.Fatal("Never is not larger than practical times")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	base := Time(time.Second)
+	if got := base.Add(500 * time.Millisecond); got != Time(1500*time.Millisecond) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := base.Sub(Time(200 * time.Millisecond)); got != 800*time.Millisecond {
+		t.Fatalf("Sub = %v", got)
+	}
+	if base.Seconds() != 1.0 {
+		t.Fatalf("Seconds = %v", base.Seconds())
+	}
+}
+
+// Property: however events are scheduled, they fire in non-decreasing time
+// order and the clock never moves backwards.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(7)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			e.After(time.Duration(d)*time.Microsecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nested scheduling from inside events still preserves ordering.
+func TestPropertyNestedScheduling(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		e := New(11)
+		last := Time(-1)
+		ok := true
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if depth < 3 {
+				e.After(time.Duration(depth+1)*time.Millisecond, func() { spawn(depth + 1) })
+			}
+		}
+		for _, s := range seeds {
+			e.After(time.Duration(s)*time.Millisecond, func() { spawn(0) })
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Microsecond, func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,114 @@
+package web
+
+import (
+	"fmt"
+	"time"
+
+	"scout/internal/core"
+	"scout/internal/fs"
+	"scout/internal/netdev"
+	"scout/internal/proto/arp"
+	"scout/internal/proto/eth"
+	"scout/internal/proto/inet"
+	"scout/internal/proto/ip"
+	"scout/internal/proto/tcp"
+	"scout/internal/sched"
+	"scout/internal/sim"
+)
+
+// ServerConfig describes a web-server appliance (Figure 3).
+type ServerConfig struct {
+	MAC        netdev.MAC
+	Addr       inet.Addr
+	Mask       inet.Addr
+	Port       int // HTTP port, default 80
+	DiskBlocks int // default 4096
+}
+
+// DefaultServerConfig returns a workable configuration.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		MAC:        netdev.MAC{2, 0, 0, 0, 0, 0x50},
+		Addr:       inet.IP(10, 0, 0, 50),
+		Mask:       inet.IP(255, 255, 255, 0),
+		Port:       80,
+		DiskBlocks: 4096,
+	}
+}
+
+// Server is a booted web-server appliance.
+type Server struct {
+	Cfg   ServerConfig
+	Eng   *sim.Engine
+	CPU   *sched.Sched
+	Dev   *netdev.Device
+	Link  *netdev.Link
+	Graph *core.Graph
+
+	ETH  *eth.Impl
+	ARP  *arp.Impl
+	IP   *ip.Impl
+	TCP  *tcp.Impl
+	HTTP *HTTPImpl
+	VFS  *fs.VFSImpl
+	UFS  *fs.UFSImpl
+	SCSI *fs.SCSIImpl
+	FS   *fs.FS
+	Disk *fs.Disk
+}
+
+// BootServer assembles and initializes the Figure 3 graph on link.
+func BootServer(eng *sim.Engine, link *netdev.Link, cfg ServerConfig) (*Server, error) {
+	if cfg.Port == 0 {
+		cfg.Port = 80
+	}
+	if cfg.DiskBlocks == 0 {
+		cfg.DiskBlocks = 4096
+	}
+	s := &Server{Cfg: cfg, Eng: eng, Link: link}
+	s.CPU = sched.New(eng)
+	sched.AddDefaultPolicies(s.CPU, 8, 50, 50)
+	s.Dev = netdev.NewDevice(link, cfg.MAC, s.CPU)
+	s.Dev.RxIRQCost = 5 * time.Microsecond
+
+	s.Disk = fs.NewDisk(eng, cfg.DiskBlocks)
+	fsys, err := fs.Mkfs(s.Disk, 8)
+	if err != nil {
+		return nil, err
+	}
+	s.FS = fsys
+
+	s.ETH = eth.New(s.Dev)
+	s.ARP = arp.New(cfg.Addr, s.CPU)
+	s.IP = ip.New(ip.Config{Addr: cfg.Addr, Mask: cfg.Mask}, s.CPU)
+	s.TCP = tcp.New(s.CPU)
+	s.HTTP = NewHTTP(s.CPU, cfg.Port)
+	s.VFS = fs.NewVFS()
+	s.UFS = fs.NewUFS(fsys)
+	s.SCSI = fs.NewSCSI(s.Disk)
+
+	g := core.NewGraph()
+	s.Graph = g
+	rETH := g.Add("ETH", s.ETH)
+	rARP := g.Add("ARP", s.ARP)
+	rIP := g.Add("IP", s.IP)
+	rTCP := g.Add("TCP", s.TCP)
+	rHTTP := g.Add("HTTP", s.HTTP)
+	rVFS := g.Add("VFS", s.VFS)
+	rUFS := g.Add("UFS", s.UFS)
+	rSCSI := g.Add("SCSI", s.SCSI)
+
+	g.MustConnect(rARP, "down", rETH, "up")
+	g.MustConnect(rIP, "down", rETH, "up")
+	g.MustConnect(rIP, "res", rARP, "resolver")
+	g.MustConnect(rTCP, "down", rIP, "up")
+	g.MustConnect(rHTTP, "net", rTCP, "up")
+	g.MustConnect(rHTTP, "file", rVFS, "up")
+	g.MustConnect(rVFS, "down", rUFS, "up")
+	g.MustConnect(rUFS, "down", rSCSI, "up")
+
+	if err := g.Build(); err != nil {
+		return nil, fmt.Errorf("web: %w", err)
+	}
+	return s, nil
+}

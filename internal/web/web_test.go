@@ -1,0 +1,193 @@
+package web
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"scout/internal/host"
+	"scout/internal/netdev"
+	"scout/internal/proto/inet"
+	"scout/internal/sim"
+)
+
+var (
+	clientMAC  = netdev.MAC{2, 0, 0, 0, 0, 0x60}
+	clientAddr = inet.IP(10, 0, 0, 60)
+)
+
+func bootWeb(t *testing.T, lc netdev.LinkConfig) (*sim.Engine, *Server, *host.Host) {
+	t.Helper()
+	eng := sim.New(1)
+	if lc.BitsPerSec == 0 {
+		lc.BitsPerSec = 10_000_000
+		lc.Delay = 100 * time.Microsecond
+	}
+	link := netdev.NewLink(eng, lc)
+	s, err := BootServer(eng, link, DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := host.New(link, clientMAC, clientAddr)
+	return eng, s, h
+}
+
+// get performs one HTTP GET and returns the raw response.
+func get(t *testing.T, eng *sim.Engine, s *Server, h *host.Host, srcPort uint16, path string) string {
+	t.Helper()
+	c := h.DialTCP(s.Cfg.Addr, uint16(s.Cfg.Port), srcPort)
+	c.OnConnect = func() {
+		c.Send([]byte("GET " + path + " HTTP/1.0\r\nHost: scout\r\n\r\n"))
+	}
+	eng.RunUntil(eng.Now().Add(10 * time.Second))
+	return string(c.Received)
+}
+
+func TestFigure3GraphStructure(t *testing.T) {
+	_, s, _ := bootWeb(t, netdev.LinkConfig{})
+	for _, name := range []string{"ETH", "ARP", "IP", "TCP", "HTTP", "VFS", "UFS", "SCSI"} {
+		if _, ok := s.Graph.Router(name); !ok {
+			t.Fatalf("router %s missing (Figure 3)", name)
+		}
+	}
+	// Boot-time paths: the disk path HTTP→VFS→UFS→SCSI and the TCP listen
+	// path HTTP→TCP→IP→ETH.
+	dp := s.HTTP.diskPath
+	want := []string{"HTTP", "VFS", "UFS", "SCSI"}
+	for i, st := range dp.Stages() {
+		if st.Router.Name != want[i] {
+			t.Fatalf("disk path stage %d = %s, want %s", i, st.Router.Name, want[i])
+		}
+	}
+	lp := s.HTTP.listenPath
+	wantNet := []string{"HTTP", "TCP", "IP", "ETH"}
+	for i, st := range lp.Stages() {
+		if st.Router.Name != wantNet[i] {
+			t.Fatalf("listen path stage %d = %s, want %s", i, st.Router.Name, wantNet[i])
+		}
+	}
+}
+
+func TestServeSmallFile(t *testing.T) {
+	eng, s, h := bootWeb(t, netdev.LinkConfig{})
+	body := []byte("<html>Hello from Scout!</html>")
+	if err := s.FS.WriteFile("/www/index.html", body); err != nil {
+		t.Fatal(err)
+	}
+	resp := get(t, eng, s, h, 33000, "/")
+	if !strings.HasPrefix(resp, "HTTP/1.0 200 OK\r\n") {
+		t.Fatalf("response: %q", resp)
+	}
+	if !strings.HasSuffix(resp, string(body)) {
+		t.Fatalf("body missing: %q", resp)
+	}
+	if s.HTTP.Requests != 1 {
+		t.Fatalf("requests = %d", s.HTTP.Requests)
+	}
+}
+
+func TestServeLargeFileMultiSegment(t *testing.T) {
+	eng, s, h := bootWeb(t, netdev.LinkConfig{})
+	big := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KiB
+	if err := s.FS.WriteFile("/www/big.bin", big); err != nil {
+		t.Fatal(err)
+	}
+	resp := get(t, eng, s, h, 33001, "/big.bin")
+	idx := strings.Index(resp, "\r\n\r\n")
+	if idx < 0 {
+		t.Fatalf("no header/body split in %d-byte response", len(resp))
+	}
+	got := []byte(resp[idx+4:])
+	if !bytes.Equal(got, big) {
+		t.Fatalf("body %d bytes, want %d (corrupted)", len(got), len(big))
+	}
+	if st := s.TCP.Stats(); st.SegsOut < 40 {
+		t.Fatalf("64KiB should take many segments, sent %d", st.SegsOut)
+	}
+	if s.Disk.Reads == 0 {
+		t.Fatal("no disk reads — storage path bypassed")
+	}
+}
+
+func Test404(t *testing.T) {
+	eng, s, h := bootWeb(t, netdev.LinkConfig{})
+	s.FS.WriteFile("/www/index.html", []byte("x"))
+	resp := get(t, eng, s, h, 33002, "/missing.html")
+	if !strings.HasPrefix(resp, "HTTP/1.0 404") {
+		t.Fatalf("response: %q", resp)
+	}
+}
+
+func TestConnectionPathPerClient(t *testing.T) {
+	eng, s, h := bootWeb(t, netdev.LinkConfig{})
+	s.FS.WriteFile("/www/index.html", []byte("hi"))
+	r1 := get(t, eng, s, h, 33003, "/")
+	h2 := host.New(s.Link, netdev.MAC{2, 0, 0, 0, 0, 0x61}, inet.IP(10, 0, 0, 61))
+	r2 := get(t, eng, s, h2, 33004, "/")
+	if !strings.Contains(r1, "hi") || !strings.Contains(r2, "hi") {
+		t.Fatalf("responses %q / %q", r1, r2)
+	}
+	if st := s.TCP.Stats(); st.Accepted != 2 {
+		t.Fatalf("accepted %d connections, want 2", st.Accepted)
+	}
+}
+
+func TestSurvivesPacketLoss(t *testing.T) {
+	eng, s, h := bootWeb(t, netdev.LinkConfig{
+		BitsPerSec: 10_000_000,
+		Delay:      100 * time.Microsecond,
+		Loss:       0.1,
+	})
+	body := bytes.Repeat([]byte("retransmission test "), 5000) // 100 KB
+	if err := s.FS.WriteFile("/www/lossy.txt", body); err != nil {
+		t.Fatal(err)
+	}
+	c := h.DialTCP(s.Cfg.Addr, uint16(s.Cfg.Port), 33005)
+	c.OnConnect = func() { c.Send([]byte("GET /lossy.txt HTTP/1.0\r\n\r\n")) }
+	eng.RunUntil(sim.Time(60 * time.Second))
+	resp := string(c.Received)
+	idx := strings.Index(resp, "\r\n\r\n")
+	if idx < 0 {
+		t.Fatalf("incomplete response under loss (%d bytes, tcp %+v)", len(resp), s.TCP.Stats())
+	}
+	if got := resp[idx+4:]; got != string(body) {
+		t.Fatalf("body corrupted under loss: %d bytes want %d", len(got), len(body))
+	}
+	if st := s.TCP.Stats(); st.Retransmits == 0 {
+		t.Fatal("no retransmissions on a 10%-loss link?")
+	}
+}
+
+func TestBadRequestRejected(t *testing.T) {
+	eng, s, h := bootWeb(t, netdev.LinkConfig{})
+	c := h.DialTCP(s.Cfg.Addr, uint16(s.Cfg.Port), 33006)
+	c.OnConnect = func() { c.Send([]byte("BREW /coffee HTCPCP/1.0\r\n\r\n")) }
+	eng.RunUntil(sim.Time(5 * time.Second))
+	if !strings.HasPrefix(string(c.Received), "HTTP/1.0 400") {
+		t.Fatalf("response: %q", c.Received)
+	}
+}
+
+func TestDiskLatencyVisibleInResponseTime(t *testing.T) {
+	eng, s, h := bootWeb(t, netdev.LinkConfig{})
+	// 32 blocks of data: ≥ 1 seek + 32 transfers of disk time.
+	s.FS.WriteFile("/www/disk.bin", make([]byte, 32*4096))
+	start := eng.Now()
+	var doneAt sim.Time
+	c := h.DialTCP(s.Cfg.Addr, uint16(s.Cfg.Port), 33007)
+	c.OnConnect = func() { c.Send([]byte("GET /disk.bin HTTP/1.0\r\n\r\n")) }
+	c.OnClose = func() {
+		if doneAt == 0 {
+			doneAt = eng.Now()
+		}
+	}
+	eng.RunUntil(sim.Time(30 * time.Second))
+	if doneAt == 0 {
+		t.Fatal("request did not complete")
+	}
+	minDisk := s.Disk.SeekTime
+	if doneAt.Sub(start) < minDisk {
+		t.Fatalf("response in %v, faster than one disk seek %v", doneAt.Sub(start), minDisk)
+	}
+}
