@@ -1,0 +1,26 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same five
+# steps as `make check`, in the same order.
+
+GO ?= go
+
+.PHONY: check build vet test race lint bench
+
+check: build vet test race lint
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/scoutlint ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

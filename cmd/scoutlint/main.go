@@ -1,0 +1,105 @@
+// Command scoutlint runs the repo's static-analysis suite (internal/lint):
+// analyzers that machine-check the path invariants the paper establishes at
+// path-creation time — virtual-clock determinism, the typed attr.Name
+// vocabulary, data-path error discipline, lock/callback hygiene, and no
+// silently dropped errors.
+//
+// Usage:
+//
+//	go run ./cmd/scoutlint ./...
+//
+// Findings print as "file:line: [rule] message" and make the exit status
+// nonzero. Suppressions live in .scoutlint-allow at the module root; stale
+// suppressions (matching nothing) are themselves an error so the file stays
+// an honest record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scout/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		allowFlag = flag.String("allow", "", "allowlist file (default <module root>/.scoutlint-allow)")
+		rulesFlag = flag.String("rules", "", "comma-separated analyzer subset (default: all)")
+		listFlag  = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rulesFlag != "" {
+		var err error
+		analyzers, err = lint.ByName(*rulesFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scoutlint:", err)
+			return 2
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scoutlint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scoutlint:", err)
+		return 2
+	}
+
+	allowPath := *allowFlag
+	if allowPath == "" {
+		allowPath = filepath.Join(root, ".scoutlint-allow")
+	}
+	allow, err := lint.ParseAllowFile(allowPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scoutlint:", err)
+		return 2
+	}
+
+	mod, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scoutlint:", err)
+		return 2
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, terr := range pkg.TypeErrs {
+			fmt.Fprintf(os.Stderr, "scoutlint: type error (continuing): %v\n", terr)
+		}
+	}
+
+	diags := lint.RunModule(mod, analyzers)
+	kept := allow.Filter(diags)
+	for _, d := range kept {
+		fmt.Println(d.String())
+	}
+	bad := len(kept) > 0
+	if *rulesFlag == "" { // staleness is only meaningful with the full suite
+		for _, e := range allow.Stale() {
+			fmt.Fprintf(os.Stderr, "scoutlint: stale allowlist entry %s:%d (%s %s) matches nothing; delete it\n",
+				allowPath, e.Line, e.Rule, e.Path)
+			bad = true
+		}
+	}
+	if bad {
+		return 1
+	}
+	fmt.Printf("scoutlint: %d analyzer(s), %d package(s), clean (%d suppressed)\n",
+		len(analyzers), len(mod.Pkgs), len(diags)-len(kept))
+	return 0
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"scout/internal/admission"
+	"scout/internal/attr"
 
 	"scout/internal/display"
 	"scout/internal/host"
@@ -89,7 +90,7 @@ func TestVideoPathMemoryGrant(t *testing.T) {
 		Source:   inet.Participants{RemoteAddr: peerAddr, RemotePort: 7001},
 		QueueLen: 128,
 	}
-	attrs := a.build().Set("PA_MEMLIMIT", 100)
+	attrs := a.build().Set(attr.MemLimit, 100)
 	disp, _ := k.Graph.Router("DISPLAY")
 	if _, err := k.Graph.CreatePath(disp, attrs); err == nil {
 		t.Fatal("path created despite a 100-byte memory grant")

@@ -28,6 +28,50 @@ const (
 	MemLimit Name = "PA_MEMLIMIT"
 )
 
+// Attribute names invented by this reproduction's routers, beyond the ones
+// §4.1 of the paper spells out. They live here — and only here — because the
+// attribute vocabulary is the contract between path creators, routers, and
+// the demux (§3.2): a name declared once is a name every party can agree on,
+// while a raw string is a typo waiting to create an attribute nobody reads.
+// scoutlint's attrkey analyzer enforces this. Routers re-export the subset
+// they own (e.g. tcp.AttrPassive = attr.TCPPassive) for doc locality.
+const (
+	// ListenChild marks a connection path spawned by a listening TCP
+	// path in response to a SYN, as opposed to one the application
+	// created. Value: bool.
+	ListenChild Name = "PA_LISTEN_CHILD"
+	// TCPPassive marks a path created in response to a SYN. Value: bool.
+	TCPPassive Name = "PA_TCP_PASSIVE"
+	// TCPRemoteSeq carries the peer's initial sequence number. Value: int.
+	TCPRemoteSeq Name = "PA_TCP_RSEQ"
+	// EthDst carries the resolved destination MAC as a path attribute;
+	// IP's stage sets it once ARP answers, ETH's stage reads it per
+	// frame. Value: netdev.MAC.
+	EthDst Name = "PA_ETH_DST"
+	// LocalPort requests a specific local UDP/TCP port. Value: int.
+	LocalPort Name = "PA_LOCAL_PORT"
+	// MPEGFPS is the playback frame rate. Value: int.
+	MPEGFPS Name = "PA_MPEG_FPS"
+	// MPEGFrames is the expected clip length in frames (0 = open-ended).
+	// Value: int.
+	MPEGFrames Name = "PA_MPEG_FRAMES"
+	// SchedPolicy selects the path's scheduling policy ("edf" or "rr").
+	// Value: string.
+	SchedPolicy Name = "PA_SCHED"
+	// SchedPriority is the RR priority for SchedPolicy="rr". Value: int.
+	SchedPriority Name = "PA_PRIORITY"
+	// CostModel selects header-only decode with modeled CPU cost (true)
+	// instead of full pixel decode. Value: bool.
+	CostModel Name = "PA_COST_MODEL"
+	// DeadlineFrom overrides bottleneck-queue selection for deadline
+	// computation: "out" (default, §4.3), "in", or "min". Value: string.
+	DeadlineFrom Name = "PA_DEADLINE_FROM"
+	// Decimate displays only every Nth frame; with it set, the MPEG stage
+	// installs an early-discard filter so packets of skipped frames are
+	// dropped at the network adapter (§4.4). Value: int N>1.
+	Decimate Name = "PA_DECIMATE"
+)
+
 // Attrs is a mutable set of name/value pairs. A nil *Attrs behaves like an
 // empty, read-only set, so routers can call Get on whatever they are handed
 // without nil checks.

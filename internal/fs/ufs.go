@@ -349,7 +349,9 @@ func (fs *FS) walk(path string) (parent uint32, name string, ino uint32, err err
 		}
 		cur = child
 	}
-	panic("unreachable")
+	// Not reachable: the loop returns on its final iteration and parts is
+	// non-empty, but a defensive error beats a data-path panic.
+	return 0, "", 0, ErrNotFound
 }
 
 // Mkdir creates a directory (parents must exist).

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// AllowEntry is one suppression from a .scoutlint-allow file. A finding is
+// suppressed when the rule matches (or the entry's rule is "*"), the file
+// matches (exact path, or prefix when the entry ends in "/"), and — if the
+// entry carries one — the message substring matches.
+type AllowEntry struct {
+	Rule string
+	Path string
+	Sub  string // optional substring the message must contain
+	Line int    // line in the allowlist file, for stale reporting
+	used bool
+}
+
+// Allowlist is a parsed .scoutlint-allow file.
+type Allowlist struct {
+	File    string
+	Entries []*AllowEntry
+}
+
+// ParseAllowFile reads path; a missing file yields an empty allowlist.
+// Format, one suppression per line:
+//
+//	<rule> <path>[ <message substring>]   # trailing comment
+//
+// Lines starting with # and blank lines are ignored. <rule> may be "*".
+// <path> matching a directory must end with "/" and suppresses the whole
+// subtree. Every entry must be justified with a comment: inline, or a
+// comment line above the entry's contiguous block (a blank line ends a
+// block) — scoutlint rejects bare entries so the allowlist stays a
+// documented set of decisions, not a mute button.
+func ParseAllowFile(path string) (*Allowlist, error) {
+	al := &Allowlist{File: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return al, nil
+		}
+		return nil, err
+	}
+	prevComment := false
+	for i, line := range strings.Split(string(data), "\n") {
+		full := strings.TrimSpace(line)
+		if full == "" {
+			prevComment = false
+			continue
+		}
+		if strings.HasPrefix(full, "#") {
+			prevComment = true
+			continue
+		}
+		entryText := full
+		hasInline := false
+		if idx := strings.Index(full, " #"); idx >= 0 {
+			entryText = strings.TrimSpace(full[:idx])
+			hasInline = true
+		}
+		fields := strings.SplitN(entryText, " ", 3)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: malformed entry %q (want: <rule> <path> [substring])", path, i+1, full)
+		}
+		if !hasInline && !prevComment {
+			return nil, fmt.Errorf("%s:%d: entry %q has no justifying comment", path, i+1, entryText)
+		}
+		e := &AllowEntry{Rule: fields[0], Path: fields[1], Line: i + 1}
+		if len(fields) == 3 {
+			e.Sub = strings.TrimSpace(fields[2])
+		}
+		al.Entries = append(al.Entries, e)
+		// prevComment stays set: one comment justifies the contiguous
+		// block of entries under it (a blank line ends the block).
+	}
+	return al, nil
+}
+
+func (e *AllowEntry) matches(d Diagnostic) bool {
+	if e.Rule != "*" && e.Rule != d.Rule {
+		return false
+	}
+	if strings.HasSuffix(e.Path, "/") {
+		if !strings.HasPrefix(d.File, e.Path) {
+			return false
+		}
+	} else if e.Path != d.File {
+		return false
+	}
+	return e.Sub == "" || strings.Contains(d.Msg, e.Sub)
+}
+
+// Filter splits diags into kept (unsuppressed) findings and marks matching
+// entries as used.
+func (al *Allowlist) Filter(diags []Diagnostic) (kept []Diagnostic) {
+	for _, d := range diags {
+		suppressed := false
+		for _, e := range al.Entries {
+			if e.matches(d) {
+				e.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// Stale returns entries that suppressed nothing in the last Filter call;
+// they indicate the violation was fixed and the entry should be deleted.
+func (al *Allowlist) Stale() []*AllowEntry {
+	var stale []*AllowEntry
+	for _, e := range al.Entries {
+		if !e.used {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}

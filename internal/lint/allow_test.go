@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeAllow(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), ".scoutlint-allow")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAllowMissingFileIsEmpty(t *testing.T) {
+	al, err := ParseAllowFile(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(al.Entries) != 0 {
+		t.Fatalf("missing file: entries=%d err=%v", len(al.Entries), err)
+	}
+}
+
+func TestAllowRejectsUncommentedEntries(t *testing.T) {
+	_, err := ParseAllowFile(writeAllow(t, "nopanic internal/foo.go\n"))
+	if err == nil || !strings.Contains(err.Error(), "no justifying comment") {
+		t.Fatalf("uncommented entry accepted: %v", err)
+	}
+}
+
+func TestAllowCommentCoversBlockUntilBlankLine(t *testing.T) {
+	_, err := ParseAllowFile(writeAllow(t,
+		"# one comment for two entries\nnopanic a.go\nnopanic b.go\n\nnopanic c.go\n"))
+	if err == nil || !strings.Contains(err.Error(), "c.go") {
+		t.Fatalf("blank line should end the justified block: %v", err)
+	}
+}
+
+func TestAllowMatching(t *testing.T) {
+	al, err := ParseAllowFile(writeAllow(t, strings.Join([]string{
+		"nopanic internal/exp/ # fail-fast experiment drivers",
+		"nopanic internal/msg/msg.go (Free) # ownership discipline",
+		"* internal/legacy.go # grandfathered wholesale",
+		"",
+	}, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{File: "internal/exp/edf.go", Line: 1, Rule: "nopanic", Msg: "panic in data-path code (run)"},
+		{File: "internal/msg/msg.go", Line: 2, Rule: "nopanic", Msg: "panic in data-path code (Free)"},
+		{File: "internal/msg/msg.go", Line: 3, Rule: "nopanic", Msg: "panic in data-path code (Push)"},
+		{File: "internal/legacy.go", Line: 4, Rule: "simclock", Msg: "wall-clock time.Now"},
+		{File: "internal/expanded.go", Line: 5, Rule: "nopanic", Msg: "panic in data-path code (x)"},
+	}
+	kept := al.Filter(diags)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d diagnostics, want 2: %v", len(kept), kept)
+	}
+	// The substring-narrowed entry must not cover (Push); the directory
+	// prefix must not glob "internal/expanded.go".
+	if kept[0].Line != 3 || kept[1].Line != 5 {
+		t.Fatalf("wrong diagnostics kept: %v", kept)
+	}
+	if stale := al.Stale(); len(stale) != 0 {
+		t.Fatalf("all entries were used, got stale: %v", stale)
+	}
+}
+
+func TestAllowStale(t *testing.T) {
+	al, err := ParseAllowFile(writeAllow(t, "nopanic gone.go # fixed long ago\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	al.Filter(nil)
+	if stale := al.Stale(); len(stale) != 1 || stale[0].Path != "gone.go" {
+		t.Fatalf("stale detection failed: %v", stale)
+	}
+}

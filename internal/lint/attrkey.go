@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// AttrKey enforces the attribute-name vocabulary (§3.2/§4.1 of the paper:
+// attributes are the shared language between path creator, routers, and
+// demux — the whole point is that every party agrees on the names). A raw
+// "PA_*" string literal bypasses that agreement: a typo silently creates a
+// new attribute nobody reads. Every PA_ name must therefore be declared
+// exactly once, as a typed attr.Name constant in internal/attr (or an
+// appliance-level constant in internal/appliance), and referenced from
+// there.
+var AttrKey = &Analyzer{
+	Name:         "attrkey",
+	Doc:          "PA_* attribute names must reference declared attr.Name constants, not raw string literals",
+	IncludeTests: true,
+	Run:          runAttrKey,
+}
+
+var attrNameRe = regexp.MustCompile(`^PA_[A-Z_]+$`)
+
+// attrDeclPkgs are the packages whose const declarations may spell out PA_*
+// literals: the vocabulary itself has to be written down somewhere.
+func attrDeclPkg(pkgPath, modPath string) bool {
+	return pkgPath == modPath+"/internal/attr" || pkgPath == modPath+"/internal/appliance"
+}
+
+func runAttrKey(pass *Pass) {
+	allowedDecl := attrDeclPkg(pass.Pkg.Path, pass.Pkg.Mod.Path)
+	for _, f := range pass.Files {
+		// Collect literal positions that sit inside const declarations;
+		// those are the declaration sites, legal only in the vocabulary
+		// packages.
+		constLits := map[token.Pos]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			decl, ok := n.(*ast.GenDecl)
+			if !ok || decl.Tok != token.CONST {
+				return true
+			}
+			ast.Inspect(decl, func(m ast.Node) bool {
+				if lit, ok := m.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					constLits[lit.Pos()] = true
+				}
+				return true
+			})
+			return false
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			val, err := strconv.Unquote(lit.Value)
+			if err != nil || !attrNameRe.MatchString(val) {
+				return true
+			}
+			if constLits[lit.Pos()] {
+				if allowedDecl {
+					return true
+				}
+				pass.Reportf(lit.Pos(), "attribute name %q declared outside the vocabulary packages; declare it as an attr.Name constant in internal/attr", val)
+				return true
+			}
+			pass.Reportf(lit.Pos(), "raw attribute name %q; reference the declared attr.Name constant (%s)", val, suggestAttrConst(val))
+			return true
+		})
+	}
+}
+
+// suggestAttrConst turns PA_FOO_BAR into the conventional constant spelling
+// attr.FooBar, purely as a hint in the message.
+func suggestAttrConst(name string) string {
+	parts := strings.Split(strings.TrimPrefix(name, "PA_"), "_")
+	var b strings.Builder
+	b.WriteString("attr.")
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		b.WriteString(p[:1] + strings.ToLower(p[1:]))
+	}
+	return b.String()
+}

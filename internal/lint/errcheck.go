@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags error results that are silently discarded in internal/
+// production code: a call used as a bare statement whose (last) result is an
+// error. On a path, a dropped error is a dropped invariant — admission
+// control, fbuf limits, and demux failures all report through error returns,
+// and ignoring one turns a controlled degradation into silent corruption.
+// Explicit discards (`_ = f()`) remain legal: they are visible in review and
+// greppable.
+var ErrCheck = &Analyzer{
+	Name:         "errcheck-lite",
+	Doc:          "no silently discarded error results in internal/ non-test code",
+	InternalOnly: true,
+	NeedsTypes:   true,
+	Run:          runErrCheck,
+}
+
+// errCheckExempt lists callees whose errors are conventionally meaningless:
+// best-effort terminal output, and the bytes/strings builders that are
+// documented never to fail.
+var errCheckExempt = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+func errCheckExemptRecv(full string) bool {
+	return strings.HasPrefix(full, "(*bytes.Buffer).") ||
+		strings.HasPrefix(full, "(*strings.Builder).")
+}
+
+func runErrCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(info, call) {
+				return true
+			}
+			name := calleeName(info, call)
+			if errCheckExempt[name] || errCheckExemptRecv(name) {
+				return true
+			}
+			if name == "" {
+				name = "call"
+			}
+			pass.Reportf(call.Pos(), "%s returns an error that is silently discarded; handle it or assign it explicitly (_ = ...)", name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result is an error or a tuple
+// whose last element is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	return isErrorType(last)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType matches results declared exactly as `error` (the convention
+// this repo follows everywhere); concrete error implementations returned as
+// themselves are rare and deliberate.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// calleeName renders the called function for messages and the exemption
+// table: "fmt.Println", "(*bytes.Buffer).WriteString", or a bare name.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun]; ok {
+			if fn, ok := obj.(*types.Func); ok {
+				return fn.FullName()
+			}
+		}
+		return fun.Name
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel]; ok {
+			if fn, ok := obj.(*types.Func); ok {
+				return fn.FullName()
+			}
+		}
+		return types.ExprString(fun)
+	}
+	return ""
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockSafe flags calls to function-typed values (callbacks: struct fields
+// like core.Stage.Establish or fbuf release hooks, and function parameters)
+// made while a sync.Mutex/RWMutex is held in the same function body. Calling
+// user code under a pool or scheduler lock is a deadlock and reentrancy
+// hazard: the callback may call straight back into the locked object — the
+// fbuf free path (msg.Releaser) re-enters the pool by design, so a pool that
+// invoked callbacks under its own mutex would self-deadlock.
+var LockSafe = &Analyzer{
+	Name:         "locksafe",
+	Doc:          "no callback (function-typed field/parameter) invocations while a mutex is held",
+	InternalOnly: true,
+	NeedsTypes:   true,
+	Run:          runLockSafe,
+}
+
+type lockEvent struct {
+	recv string // rendered receiver expression, e.g. "p.mu"
+	kind string // "Lock" or "RLock"
+	pos  token.Pos
+	line int
+}
+
+type unlockEvent struct {
+	recv     string
+	kind     string // "Unlock" or "RUnlock"
+	pos      token.Pos
+	deferred bool
+}
+
+type cbCall struct {
+	desc string
+	pos  token.Pos
+}
+
+func runLockSafe(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockBody(pass, fn.Body)
+		}
+	}
+}
+
+func checkLockBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var locks []lockEvent
+	var unlocks []unlockEvent
+	var calls []cbCall
+
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferredCalls[d.Call] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, method, ok := mutexMethod(info, call); ok {
+			switch method {
+			case "Lock", "RLock":
+				locks = append(locks, lockEvent{recv: recv, kind: method, pos: call.Pos(),
+					line: pass.Pkg.Mod.Fset.Position(call.Pos()).Line})
+			case "Unlock", "RUnlock":
+				unlocks = append(unlocks, unlockEvent{recv: recv, kind: method, pos: call.Pos(),
+					deferred: deferredCalls[call]})
+			}
+			return true
+		}
+		if desc, ok := funcValueCallee(info, call); ok {
+			calls = append(calls, cbCall{desc: desc, pos: call.Pos()})
+		}
+		return true
+	})
+	if len(locks) == 0 || len(calls) == 0 {
+		return
+	}
+	sort.Slice(calls, func(i, j int) bool { return calls[i].pos < calls[j].pos })
+
+	for _, c := range calls {
+		for _, l := range locks {
+			if l.pos >= c.pos {
+				continue
+			}
+			released := false
+			for _, u := range unlocks {
+				if u.deferred || u.recv != l.recv || u.kind != matchingUnlock(l.kind) {
+					continue
+				}
+				if u.pos > l.pos && u.pos < c.pos {
+					released = true
+					break
+				}
+			}
+			if !released {
+				pass.Reportf(c.pos, "callback %s invoked while %s is held (%s at line %d); release the mutex before calling user code", c.desc, l.recv, l.kind, l.line)
+				break // one report per call site is enough
+			}
+		}
+	}
+}
+
+// mutexMethod reports whether call is recv.Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the rendered receiver.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, okType := info.Types[sel.X]
+	if !okType {
+		return "", "", false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func matchingUnlock(lockKind string) string {
+	if lockKind == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// funcValueCallee reports whether call invokes a function-typed *value* — a
+// struct field, parameter, or variable holding a func — as opposed to a
+// declared function or method.
+func funcValueCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj, ok := info.Uses[fun]
+		if !ok {
+			return "", false
+		}
+		v, isVar := obj.(*types.Var)
+		if !isVar {
+			return "", false
+		}
+		if _, isSig := v.Type().Underlying().(*types.Signature); !isSig {
+			return "", false
+		}
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		selInfo, ok := info.Selections[fun]
+		if !ok || selInfo.Kind() != types.FieldVal {
+			return "", false
+		}
+		if _, isSig := selInfo.Type().Underlying().(*types.Signature); !isSig {
+			return "", false
+		}
+		return types.ExprString(fun), true
+	}
+	return "", false
+}

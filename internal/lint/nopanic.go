@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic enforces error discipline on the data path. A Scout path survives
+// bad packets: a malformed TCP segment or an oversized fbuf request must
+// surface as an error the path (or its creator) handles, never as a crash of
+// the whole appliance. Panics are reserved for boot-time wiring and
+// programming errors caught at construction: constructors (New*), init
+// functions, and must* helpers, which exist precisely to turn errors into
+// panics at configuration time (§3.1's configuration step).
+var NoPanic = &Analyzer{
+	Name:         "nopanic",
+	Doc:          "no panic() in data-path code; return errors (panics allowed in New*/init/must* only)",
+	InternalOnly: true,
+	Run:          runNoPanic,
+}
+
+func panicAllowedFunc(name string) bool {
+	lower := strings.ToLower(name)
+	return name == "init" ||
+		strings.HasPrefix(name, "New") ||
+		strings.HasPrefix(lower, "must")
+}
+
+func runNoPanic(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && panicAllowedFunc(fn.Name.Name) {
+				continue
+			}
+			where := "package-level initializer"
+			if ok {
+				where = fn.Name.Name
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// Make sure it's the builtin, not a shadowing func.
+				if pass.Pkg.Info != nil {
+					if obj, ok := pass.Pkg.Info.Uses[id]; ok {
+						if _, builtin := obj.(*types.Builtin); !builtin {
+							return true
+						}
+					}
+				}
+				pass.Reportf(call.Pos(), "panic in data-path code (%s); return an error so the path degrades instead of crashing the appliance", where)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestScoutlintSelfCheck runs the full analyzer suite against this module's
+// real source and requires a clean result modulo the checked-in allowlist.
+// It is part of tier-1 (`go test ./...`), so an invariant regression fails
+// the ordinary test run, not just CI's scoutlint step.
+func TestScoutlintSelfCheck(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, terr := range pkg.TypeErrs {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	allow, err := ParseAllowFile(filepath.Join(root, ".scoutlint-allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunModule(mod, All())
+	for _, d := range allow.Filter(diags) {
+		t.Errorf("scoutlint: %s", d)
+	}
+	for _, e := range allow.Stale() {
+		t.Errorf("stale allowlist entry %s:%d (%s %s): matches nothing; the violation was fixed, delete the entry",
+			allow.File, e.Line, e.Rule, e.Path)
+	}
+	if len(mod.Pkgs) < 30 {
+		t.Errorf("loader found only %d packages; module discovery looks broken", len(mod.Pkgs))
+	}
+}

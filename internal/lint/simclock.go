@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Simclock enforces virtual-clock determinism (DESIGN.md's substitution
+// table: wall-clock time is replaced by the discrete-event clock in
+// internal/sim). Code under internal/ must not consult the wall clock or the
+// global math/rand source: results would differ run to run, and the paper's
+// experiments (Tables 1-5) are only reproducible because every delay and
+// every random draw comes from the seeded simulation engine.
+var Simclock = &Analyzer{
+	Name:         "simclock",
+	Doc:          "forbid wall-clock time and global math/rand in virtual-clock code",
+	IncludeTests: true,
+	InternalOnly: true,
+	Run:          runSimclock,
+}
+
+// timeBanned are the package time functions that read or wait on the wall
+// clock. Types and constants (time.Duration, time.Millisecond) stay legal:
+// the virtual clock measures in time.Duration too.
+var timeBanned = map[string]string{
+	"Now":       "read the engine clock (sim.Engine.Now) instead",
+	"Sleep":     "schedule a sim event (sim.Engine.At/Tick) instead",
+	"After":     "schedule a sim event (sim.Engine.At/Tick) instead",
+	"Tick":      "schedule a sim event (sim.Engine.Tick) instead",
+	"AfterFunc": "schedule a sim event (sim.Engine.At) instead",
+	"NewTimer":  "schedule a sim event (sim.Engine.At) instead",
+	"NewTicker": "schedule a sim event (sim.Engine.Tick) instead",
+	"Since":     "subtract sim.Engine.Now values instead",
+	"Until":     "subtract sim.Engine.Now values instead",
+}
+
+// randBanned are the package-level math/rand functions that draw from the
+// unseeded (or globally shared) source. rand.New(rand.NewSource(seed)) is
+// the sanctioned form: every path/experiment owns a seeded generator.
+var randBanned = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "IntN": true, "Int32": true,
+	"Int32N": true, "Int64": true, "Int64N": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runSimclock(pass *Pass) {
+	for _, f := range pass.Files {
+		timeNames, randNames := clockImports(f)
+		if len(timeNames) == 0 && len(randNames) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// With type info, make sure the identifier really is the
+			// package and not a shadowing local; without it (test
+			// files), trust the import name.
+			if pass.Pkg.Info != nil {
+				if obj, ok := pass.Pkg.Info.Uses[id]; ok {
+					if _, isPkg := obj.(*types.PkgName); !isPkg {
+						return true
+					}
+				}
+			}
+			if timeNames[id.Name] {
+				if why, banned := timeBanned[sel.Sel.Name]; banned {
+					pass.Reportf(sel.Pos(), "wall-clock time.%s breaks virtual-clock determinism; %s", sel.Sel.Name, why)
+				}
+			}
+			if randNames[id.Name] && randBanned[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "global %s.%s draws from a shared unseeded source; use a seeded rand.New(rand.NewSource(seed))", id.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// clockImports returns the local names under which f imports "time" and
+// "math/rand" (or "math/rand/v2").
+func clockImports(f *ast.File) (timeNames, randNames map[string]bool) {
+	timeNames = map[string]bool{}
+	randNames = map[string]bool{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		}
+		switch path {
+		case "time":
+			if name == "" {
+				name = "time"
+			}
+			timeNames[name] = true
+		case "math/rand", "math/rand/v2":
+			if name == "" {
+				name = "rand"
+			}
+			randNames[name] = true
+		}
+	}
+	return timeNames, randNames
+}

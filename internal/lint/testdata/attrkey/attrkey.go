@@ -1,0 +1,20 @@
+// Golden input for the attrkey analyzer, loaded as an ordinary internal
+// package (NOT the vocabulary): every PA_ literal must fire, whether used
+// raw or smuggled into a local const declaration.
+package fake
+
+const AttrLocal = "PA_LOCAL_THING" // want "declared outside the vocabulary packages"
+
+func f() {
+	use("PA_BAR_BAZ") // want "raw attribute name \"PA_BAR_BAZ\""
+	use("pa_lower")   // no finding: not an attribute-name shape
+	use("PANICKY")    // no finding: no PA_ prefix
+	use("PA_x")       // no finding: lowercase body
+}
+
+func g() {
+	const nested = "PA_NESTED" // want "declared outside the vocabulary packages"
+	use(nested)
+}
+
+func use(string) {}

@@ -1,0 +1,19 @@
+// Golden input for the attrkey analyzer, loaded AS the vocabulary package
+// (scout/internal/attr): const declarations are the one legal spelling
+// site; raw uses outside const blocks still fire even here.
+package fake
+
+type Name string
+
+// The declaration block below is the legal spelling site.
+const (
+	Foo    Name = "PA_FOO"     // no finding: const decl in the vocabulary package
+	BarBaz Name = "PA_BAR_BAZ" // no finding
+)
+
+func f() {
+	use(string(Foo))
+	use("PA_FOO") // want "raw attribute name"
+}
+
+func use(string) {}

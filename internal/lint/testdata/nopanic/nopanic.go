@@ -1,0 +1,56 @@
+// Golden input for the nopanic analyzer: panics in constructors, init, and
+// must* helpers are legal; panics anywhere else on the data path fire.
+package fake
+
+import "errors"
+
+type T struct{}
+
+// New is a constructor: panicking on impossible configuration is allowed.
+func New(n int) *T {
+	if n < 0 {
+		panic("fake: negative size")
+	}
+	return &T{}
+}
+
+// NewThing likewise.
+func NewThing() *T { return New(1) }
+
+func init() {
+	if false {
+		panic("boot-time consistency check")
+	}
+}
+
+// mustSize is a must* helper: its entire job is converting errors to panics.
+func mustSize(n int) int {
+	if n < 0 {
+		panic("fake: bad size")
+	}
+	return n
+}
+
+// MustGet is the exported spelling of the same convention.
+func MustGet(t *T, err error) *T {
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Deliver is data-path code: a bad message must become an error.
+func (t *T) Deliver(n int) error {
+	if n < 0 {
+		panic("fake: negative delivery") // want "panic in data-path code (Deliver)"
+	}
+	return errors.New("unimplemented")
+}
+
+// helper shows that function literals inherit the enclosing declaration.
+func helper() {
+	f := func() {
+		panic("inner") // want "panic in data-path code (helper)"
+	}
+	f()
+}

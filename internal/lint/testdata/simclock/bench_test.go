@@ -1,0 +1,9 @@
+// Test files are checked syntactically (no type info): the import-name
+// fallback must still catch wall-clock calls in _test.go code.
+package fake
+
+import "time"
+
+func waitABit() {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+}

@@ -1,0 +1,39 @@
+// Golden input for the simclock analyzer: wall-clock and global-rand calls
+// must fire; seeded rand and time.Duration arithmetic must not.
+package fake
+
+import (
+	"math/rand"
+	"time"
+	wall "time"
+)
+
+func bad() {
+	_ = time.Now()                     // want "wall-clock time.Now"
+	time.Sleep(time.Second)            // want "wall-clock time.Sleep"
+	_ = time.After(time.Second)        // want "wall-clock time.After"
+	_ = time.Tick(time.Second)         // want "wall-clock time.Tick"
+	_ = time.Since(time.Time{})        // want "wall-clock time.Since"
+	_ = wall.Now()                     // want "wall-clock time.Now"
+	_ = rand.Intn(4)                   // want "global rand.Intn"
+	_ = rand.Float64()                 // want "global rand.Float64"
+	rand.Shuffle(0, func(int, int) {}) // want "global rand.Shuffle"
+}
+
+func good() {
+	rng := rand.New(rand.NewSource(42)) // seeded source: the sanctioned form
+	_ = rng.Intn(4)
+	_ = rng.Float64()
+	d := 5 * time.Millisecond // durations and constants are virtual-clock units
+	_ = d.String()
+}
+
+// clock shadows nothing: a local value named time is not the package.
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func shadowed() {
+	time := clock{}
+	_ = time.Now() // no finding: resolved to the local variable
+}

@@ -132,12 +132,15 @@ func (a *Impl) Init(r *core.Router) error {
 		return fmt.Errorf("arp: down peer %s is not an ETH router", l.Peer.Name)
 	}
 	a.ethImpl = ei
-	ei.BindType(inet.EtherTypeARP, func(m *msg.Msg) (*core.Path, error) {
+	err = ei.BindType(inet.EtherTypeARP, func(m *msg.Msg) (*core.Path, error) {
 		if a.path == nil {
 			return nil, core.ErrNoPath
 		}
 		return a.path, nil
 	})
+	if err != nil {
+		return err
+	}
 
 	// The initial path: boot-time routers create a handful of paths to
 	// receive network packets (§3.3).

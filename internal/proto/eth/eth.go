@@ -99,11 +99,12 @@ func (e *Impl) MAC() netdev.MAC { return e.dev.Addr }
 // BindType registers the classifier continuation for an Ethernet type;
 // upper routers (IP, ARP) call this from their Init. The continuation
 // receives the frame with the Ethernet header already stripped.
-func (e *Impl) BindType(etherType uint16, demux func(m *msg.Msg) (*core.Path, error)) {
+func (e *Impl) BindType(etherType uint16, demux func(m *msg.Msg) (*core.Path, error)) error {
 	if _, dup := e.byType[etherType]; dup {
-		panic(fmt.Sprintf("eth: ether type %#04x bound twice", etherType))
+		return fmt.Errorf("eth: ether type %#04x bound twice", etherType)
 	}
 	e.byType[etherType] = demux
+	return nil
 }
 
 // Stats returns a snapshot of driver counters.

@@ -103,12 +103,15 @@ func (c *Impl) Init(r *core.Router) error {
 	if !ok {
 		return fmt.Errorf("icmp: down peer %s is not IP", down.Peer.Name)
 	}
-	ipi.BindProto(inet.ProtoICMP, func(m *msg.Msg) (*core.Path, error) {
+	err = ipi.BindProto(inet.ProtoICMP, func(m *msg.Msg) (*core.Path, error) {
 		if c.path == nil {
 			return nil, core.ErrNoPath
 		}
 		return c.path, nil
 	})
+	if err != nil {
+		return err
+	}
 	p, err := r.Graph.CreatePath(r, attr.New().Set(attr.ProtID, inet.ProtoICMP))
 	if err != nil {
 		return fmt.Errorf("icmp: creating listen path: %w", err)

@@ -6,6 +6,8 @@ package inet
 import (
 	"encoding/binary"
 	"fmt"
+
+	"scout/internal/attr"
 )
 
 // Addr is an IPv4 address.
@@ -91,13 +93,14 @@ func ChecksumPseudo(src, dst Addr, proto uint8, payload []byte) uint16 {
 	return Checksum(ph)
 }
 
-// Attribute names used by the networking routers beyond the paper-named ones
-// in package attr.
+// Attribute names used by the networking routers beyond the paper-named
+// ones; declared in the central vocabulary (package attr) and re-exported
+// here for doc locality.
 const (
 	// AttrEthDst carries the resolved destination MAC as a path
 	// attribute; IP's stage sets it once ARP answers, ETH's stage reads
 	// it per frame. Value: netdev.MAC.
-	AttrEthDst = "PA_ETH_DST"
+	AttrEthDst = attr.EthDst
 	// AttrLocalPort requests a specific local UDP/TCP port. Value: int.
-	AttrLocalPort = "PA_LOCAL_PORT"
+	AttrLocalPort = attr.LocalPort
 )

@@ -180,7 +180,9 @@ func (p *Impl) Init(r *core.Router) error {
 	}
 	p.arpImpl = ai
 
-	ei.BindType(inet.EtherTypeIP, p.classify)
+	if err := ei.BindType(inet.EtherTypeIP, p.classify); err != nil {
+		return err
+	}
 
 	// Short/fat path for all fragmented IP packets (§2.5).
 	rp, err := r.Graph.CreatePath(r, attr.New().
@@ -197,11 +199,12 @@ func (p *Impl) Init(r *core.Router) error {
 // BindProto registers the classifier continuation for an IP protocol
 // number; transports call it from Init. The continuation sees the packet
 // with the IP header stripped.
-func (p *Impl) BindProto(proto uint8, demux func(m *msg.Msg) (*core.Path, error)) {
+func (p *Impl) BindProto(proto uint8, demux func(m *msg.Msg) (*core.Path, error)) error {
 	if _, dup := p.byProto[proto]; dup {
-		panic(fmt.Sprintf("ip: proto %d bound twice", proto))
+		return fmt.Errorf("ip: proto %d bound twice", proto)
 	}
 	p.byProto[proto] = demux
+	return nil
 }
 
 // classify refines the classification decision for an IP packet (header at

@@ -327,7 +327,7 @@ func (c *conn) listenInput(h Header, src inet.Addr, m *msg.Msg) {
 	}
 	top := c.stage.Path.End[0].Router
 	a := c.stage.Path.Attrs.Clone().
-		Set("PA_LISTEN_CHILD", true).
+		Set(attr.ListenChild, true).
 		Set(AttrPassive, true).
 		Set(AttrRemoteSeq, int(h.Seq)).
 		Set(inet.AttrLocalPort, int(c.lport))

@@ -90,12 +90,13 @@ const (
 	EventClose
 )
 
-// Attribute names used during connection-path creation.
+// Attribute names used during connection-path creation; declared in the
+// central vocabulary (package attr) and re-exported here for doc locality.
 const (
 	// AttrPassive marks a path created in response to a SYN. Value: bool.
-	AttrPassive = "PA_TCP_PASSIVE"
+	AttrPassive = attr.TCPPassive
 	// AttrRemoteSeq carries the peer's initial sequence number. Value: int.
-	AttrRemoteSeq = "PA_TCP_RSEQ"
+	AttrRemoteSeq = attr.TCPRemoteSeq
 )
 
 // Connection states.
@@ -192,8 +193,7 @@ func (t *Impl) Init(r *core.Router) error {
 		return fmt.Errorf("tcp: down peer %s is not IP", down.Peer.Name)
 	}
 	t.ipImpl = ipi
-	ipi.BindProto(inet.ProtoTCP, t.classify)
-	return nil
+	return ipi.BindProto(inet.ProtoTCP, t.classify)
 }
 
 // classify finds the connection path (exact match) or the listening path.
@@ -209,7 +209,7 @@ func (t *Impl) classify(m *msg.Msg) (*core.Path, error) {
 	var raddr inet.Addr
 	ipHdr := m.Push(ip.HeaderLen)
 	copy(raddr[:], ipHdr[12:16])
-	m.Pop(ip.HeaderLen)
+	_, _ = m.Pop(ip.HeaderLen) // restores the view the Push above extended; cannot fall short
 	if p, ok := t.exact[exactKey{lport: h.DstPort, raddr: raddr, rport: h.SrcPort}]; ok {
 		return p, nil
 	}
@@ -244,7 +244,11 @@ func (t *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 	if lp, ok := a.Int(inet.AttrLocalPort); ok {
 		c.lport = uint16(lp)
 	} else {
-		c.lport = t.allocPort()
+		lp, err := t.allocPort()
+		if err != nil {
+			return nil, nil, err
+		}
+		c.lport = lp
 		a.Set(inet.AttrLocalPort, int(c.lport))
 	}
 	passive, _ := a.Get(AttrPassive)
@@ -271,7 +275,7 @@ func (t *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 	return s, &core.NextHop{Router: down.Peer, Service: down.PeerService}, nil
 }
 
-func (t *Impl) allocPort() uint16 {
+func (t *Impl) allocPort() (uint16, error) {
 	for i := 0; i < 1<<14; i++ {
 		p := t.nextEphemeral
 		t.nextEphemeral++
@@ -279,10 +283,10 @@ func (t *Impl) allocPort() uint16 {
 			t.nextEphemeral = 42000
 		}
 		if _, used := t.listen[p]; !used {
-			return p
+			return p, nil
 		}
 	}
-	panic("tcp: port space exhausted")
+	return 0, errors.New("tcp: ephemeral port space exhausted")
 }
 
 // ConnOf returns the TCP connection state helpers for path p.

@@ -118,8 +118,7 @@ func (u *Impl) Init(r *core.Router) error {
 		return fmt.Errorf("udp: down peer %s is not IP", down.Peer.Name)
 	}
 	u.ipImpl = ipi
-	ipi.BindProto(inet.ProtoUDP, u.classify)
-	return nil
+	return ipi.BindProto(inet.ProtoUDP, u.classify)
 }
 
 // classify finishes classification: exact (local port, remote addr, remote
@@ -136,7 +135,7 @@ func (u *Impl) classify(m *msg.Msg) (*core.Path, error) {
 	var raddr inet.Addr
 	ipHdr := m.Push(ip.HeaderLen)
 	copy(raddr[:], ipHdr[12:16])
-	m.Pop(ip.HeaderLen)
+	_, _ = m.Pop(ip.HeaderLen) // restores the view the Push above extended; cannot fall short
 	if p, ok := u.exact[exactKey{lport: h.DstPort, raddr: raddr, rport: h.SrcPort}]; ok {
 		return p, nil
 	}
@@ -184,7 +183,11 @@ func (u *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 	if lp, ok := a.Int(inet.AttrLocalPort); ok {
 		sd.lport = uint16(lp)
 	} else {
-		sd.lport = u.allocPort()
+		lp, err := u.allocPort()
+		if err != nil {
+			return nil, nil, err
+		}
+		sd.lport = lp
 		a.Set(inet.AttrLocalPort, int(sd.lport))
 	}
 
@@ -222,7 +225,7 @@ func (u *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 	return s, &core.NextHop{Router: down.Peer, Service: down.PeerService}, nil
 }
 
-func (u *Impl) allocPort() uint16 {
+func (u *Impl) allocPort() (uint16, error) {
 	for i := 0; i < 1<<14; i++ {
 		p := u.nextPort
 		u.nextPort++
@@ -230,10 +233,10 @@ func (u *Impl) allocPort() uint16 {
 			u.nextPort = 49152
 		}
 		if _, used := u.wildcard[p]; !used {
-			return p
+			return p, nil
 		}
 	}
-	panic("udp: ephemeral port space exhausted")
+	return 0, errors.New("udp: ephemeral port space exhausted")
 }
 
 // output sends one datagram down the path.
@@ -302,7 +305,10 @@ func (sd *udpStage) input(i *core.NetIface, m *msg.Msg) error {
 			return errors.New("udp: bad checksum")
 		}
 	}
-	m.Pop(HeaderLen)
+	if _, err := m.Pop(HeaderLen); err != nil {
+		m.Free()
+		return err
+	}
 	u.stats.Received++
 	// Identify the datagram's sender to the stages above.
 	m.Tag = inet.Participants{RemoteAddr: src, RemotePort: h.SrcPort}

@@ -41,7 +41,10 @@ func TestEphemeralPortsDistinct(t *testing.T) {
 	u := New()
 	seen := map[uint16]bool{}
 	for i := 0; i < 100; i++ {
-		p := u.allocPort()
+		p, err := u.allocPort()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if seen[p] {
 			t.Fatalf("port %d allocated twice", p)
 		}

@@ -6,6 +6,7 @@
 package routers
 
 import (
+	"scout/internal/attr"
 	"scout/internal/core"
 	"scout/internal/display"
 )
@@ -44,24 +45,25 @@ func (i *VideoIface) DeliverNextFrame(f *display.Frame) error {
 	return vi.DeliverFrame(vi, f)
 }
 
-// Attribute names used by the video paths.
+// Attribute names used by the video paths; declared in the central
+// vocabulary (package attr) and re-exported here for doc locality.
 const (
 	// AttrFPS is the playback frame rate (int).
-	AttrFPS = "PA_MPEG_FPS"
+	AttrFPS = attr.MPEGFPS
 	// AttrFrames is the expected clip length in frames (int, 0=open).
-	AttrFrames = "PA_MPEG_FRAMES"
+	AttrFrames = attr.MPEGFrames
 	// AttrSched selects the path's scheduling policy ("edf" or "rr").
-	AttrSched = "PA_SCHED"
+	AttrSched = attr.SchedPolicy
 	// AttrPriority is the RR priority for AttrSched="rr" (int).
-	AttrPriority = "PA_PRIORITY"
+	AttrPriority = attr.SchedPriority
 	// AttrCostModel selects header-only decode with modeled CPU cost
 	// (bool true) instead of full pixel decode.
-	AttrCostModel = "PA_COST_MODEL"
+	AttrCostModel = attr.CostModel
 	// AttrDeadlineFrom overrides bottleneck-queue selection for deadline
 	// computation: "out" (default, §4.3), "in", or "min".
-	AttrDeadlineFrom = "PA_DEADLINE_FROM"
+	AttrDeadlineFrom = attr.DeadlineFrom
 	// AttrDecimate displays only every Nth frame; with it set, the MPEG
 	// stage installs an early-discard filter so packets of skipped
 	// frames are dropped at the network adapter (§4.4). Value: int N>1.
-	AttrDecimate = "PA_DECIMATE"
+	AttrDecimate = attr.Decimate
 )
