@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mpegbench                  # run everything
-//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp
+//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp|loss
 //	mpegbench -edf-full        # EDF experiment at full clip lengths
 package main
 
@@ -16,10 +16,11 @@ import (
 	"time"
 
 	"scout/internal/exp"
+	"scout/internal/mpeg"
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp")
+	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss")
 	edfFull := flag.Bool("edf-full", false, "run the EDF experiment at full clip lengths (1345/1758 frames)")
 	flag.Parse()
 
@@ -72,6 +73,10 @@ func main() {
 
 	run("queues", func() {
 		exp.PrintQueueSizing(w, exp.RunQueueSizing(nil, nil))
+	})
+
+	run("loss", func() {
+		exp.PrintLoss(w, mpeg.Neptune.Name, exp.RunLoss(mpeg.Neptune))
 	})
 
 	run("ilp", func() {

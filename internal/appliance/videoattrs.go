@@ -28,6 +28,9 @@ type VideoAttrs struct {
 	DeadlineFrom string
 	// LocalPort pins the local UDP port (0 = ephemeral).
 	LocalPort int
+	// Reliable selects reliable MFLOW: the receiver resequences
+	// out-of-order data and the sender retransmits unacknowledged packets.
+	Reliable bool
 }
 
 func (v *VideoAttrs) build() *attr.Attrs {
@@ -59,6 +62,9 @@ func (v *VideoAttrs) build() *attr.Attrs {
 	}
 	if v.LocalPort > 0 {
 		a.Set(inet.AttrLocalPort, v.LocalPort)
+	}
+	if v.Reliable {
+		a.Set(attr.MFLOWReliable, true)
 	}
 	return a
 }

@@ -70,6 +70,10 @@ const (
 	// installs an early-discard filter so packets of skipped frames are
 	// dropped at the network adapter (§4.4). Value: int N>1.
 	Decimate Name = "PA_DECIMATE"
+	// MFLOWReliable selects reliable MFLOW on the path: the receiver
+	// resequences out-of-order data and the sender buffers and retransmits
+	// unacknowledged packets. Value: bool.
+	MFLOWReliable Name = "PA_MFLOW_RELIABLE"
 )
 
 // Attrs is a mutable set of name/value pairs. A nil *Attrs behaves like an

@@ -32,7 +32,14 @@ type Host struct {
 	eng *sim.Engine
 
 	arpCache   map[inet.Addr]netdev.MAC
-	arpPending map[inet.Addr][]func(netdev.MAC)
+	arpPending map[inet.Addr]*arpQuery
+
+	// ARPTimeout is the wait before the first ARP re-request (default
+	// 500ms), doubling per retry; ARPRetries caps requests per address
+	// (default 8). A request lost on a faulty link is retried instead of
+	// stranding every queued send forever.
+	ARPTimeout time.Duration
+	ARPRetries int
 
 	udpHandlers map[uint16]UDPHandler
 	tcpConns    map[uint16]*TCPConn
@@ -53,9 +60,11 @@ func New(link *netdev.Link, mac netdev.MAC, addr inet.Addr) *Host {
 	h := &Host{
 		Addr:        addr,
 		arpCache:    make(map[inet.Addr]netdev.MAC),
-		arpPending:  make(map[inet.Addr][]func(netdev.MAC)),
+		arpPending:  make(map[inet.Addr]*arpQuery),
 		udpHandlers: make(map[uint16]UDPHandler),
 		UDPChecksum: true,
+		ARPTimeout:  500 * time.Millisecond,
+		ARPRetries:  8,
 	}
 	h.Dev = netdev.NewDevice(link, mac, nil)
 	h.eng = h.Dev.Engine()
@@ -130,17 +139,38 @@ func (h *Host) handleIP(b []byte) {
 	}
 }
 
-// Resolve maps an IP address to a MAC via ARP, invoking fn when known.
+// arpQuery tracks one in-flight resolution: queued sends plus the retry
+// timer that re-broadcasts the request if the answer never comes.
+type arpQuery struct {
+	callbacks []func(netdev.MAC)
+	tries     int
+	timeout   time.Duration
+	timer     *sim.Event
+}
+
+// Resolve maps an IP address to a MAC via ARP, invoking fn when known. A
+// lost request or reply is retried with exponential backoff; after
+// ARPRetries attempts the queued sends are dropped (hosts are traffic
+// generators — the loss shows up in the receiver's stats, as on a real
+// network).
 func (h *Host) Resolve(dst inet.Addr, fn func(netdev.MAC)) {
 	if mac, ok := h.arpCache[dst]; ok {
 		fn(mac)
 		return
 	}
-	pend, inflight := h.arpPending[dst]
-	h.arpPending[dst] = append(pend, fn)
-	if inflight {
-		return
+	q, inflight := h.arpPending[dst]
+	if !inflight {
+		q = &arpQuery{timeout: h.ARPTimeout}
+		h.arpPending[dst] = q
 	}
+	q.callbacks = append(q.callbacks, fn)
+	if !inflight {
+		h.transmitARP(dst, q)
+	}
+}
+
+func (h *Host) transmitARP(dst inet.Addr, q *arpQuery) {
+	q.tries++
 	req := make([]byte, 28)
 	binary.BigEndian.PutUint16(req[0:2], 1)
 	binary.BigEndian.PutUint16(req[2:4], 0x0800)
@@ -150,6 +180,21 @@ func (h *Host) Resolve(dst inet.Addr, fn func(netdev.MAC)) {
 	copy(req[14:18], h.Addr[:])
 	copy(req[24:28], dst[:])
 	h.sendFrame(netdev.Broadcast, inet.EtherTypeARP, req)
+	if q.tries >= h.ARPRetries {
+		q.timer = h.eng.After(q.timeout, func() {
+			if h.arpPending[dst] == q {
+				delete(h.arpPending, dst) // give up; queued sends are dropped
+			}
+		})
+		return
+	}
+	q.timer = h.eng.After(q.timeout, func() {
+		if h.arpPending[dst] != q {
+			return // resolved meanwhile
+		}
+		h.transmitARP(dst, q)
+	})
+	q.timeout *= 2
 }
 
 func (h *Host) handleARP(b []byte) {
@@ -164,9 +209,12 @@ func (h *Host) handleARP(b []byte) {
 	copy(targetIP[:], b[24:28])
 	// Learn the sender either way.
 	h.arpCache[senderIP] = senderMAC
-	if pend, ok := h.arpPending[senderIP]; ok {
+	if q, ok := h.arpPending[senderIP]; ok {
 		delete(h.arpPending, senderIP)
-		for _, fn := range pend {
+		if q.timer != nil {
+			q.timer.Cancel()
+		}
+		for _, fn := range q.callbacks {
 			fn(senderMAC)
 		}
 	}

@@ -34,6 +34,16 @@ type SourceConfig struct {
 	// advertisement arrives (default 16 packets).
 	InitialWindow uint32
 
+	// Retransmit enables sender-side retransmission: unacknowledged
+	// packets are buffered and re-sent on timeout (exponential backoff,
+	// MaxTries cap) or after three duplicate cumulative acks.
+	Retransmit bool
+	// RTOMin and RTOMax bound the retransmission timeout (defaults 50ms
+	// and 500ms).
+	RTOMin, RTOMax time.Duration
+	// MaxTries caps transmissions per packet (default 8).
+	MaxTries int
+
 	// PayloadBudget bounds ALF packet payloads (default: MTU-fitting).
 	PayloadBudget int
 	// Seed makes the trace deterministic.
@@ -60,9 +70,28 @@ type Source struct {
 	done   bool
 	doneAt sim.Time
 
-	AcksReceived int64
-	PacketsSent  int64
-	RTTEWMA      time.Duration
+	// Retransmission state: sent-but-unacknowledged packets by index into
+	// packets, trimmed by cumulative acks.
+	unacked  []srcUnacked
+	lastAck  uint32
+	dupAcks  int
+	frSeq    uint32 // highest seq fast-retransmitted: one per hole
+	rtoTimer *sim.Event
+	rtoShift uint
+
+	AcksReceived    int64
+	PacketsSent     int64
+	Retransmits     int64
+	FastRetransmits int64
+	RTOs            int64
+	Abandoned       int64
+	RTTEWMA         time.Duration
+}
+
+type srcUnacked struct {
+	seq   uint32
+	idx   int // index into packets (payload is rebuilt on re-send)
+	tries int
 }
 
 // NewSource prepares the clip data. Real-mode encoding happens here, once.
@@ -72,6 +101,17 @@ func NewSource(h *Host, cfg SourceConfig) (*Source, error) {
 	}
 	if cfg.InitialWindow == 0 {
 		cfg.InitialWindow = 16
+	}
+	if cfg.RTOMin == 0 {
+		// Above the ack jitter of a decode-bound receiver (~20ms/frame):
+		// fast retransmit handles prompt recovery, the RTO is a backstop.
+		cfg.RTOMin = 50 * time.Millisecond
+	}
+	if cfg.RTOMax == 0 {
+		cfg.RTOMax = 500 * time.Millisecond
+	}
+	if cfg.MaxTries == 0 {
+		cfg.MaxTries = 8
 	}
 	s := &Source{h: h, cfg: cfg, win: cfg.InitialWindow}
 	clip := cfg.Clip
@@ -156,7 +196,106 @@ func (s *Source) onAck(src inet.Participants, payload []byte) {
 			s.RTTEWMA += (rtt - s.RTTEWMA) / 8
 		}
 	}
+	if s.cfg.Retransmit {
+		s.processAck(h)
+	}
 	s.trySend()
+}
+
+// processAck trims the unacked buffer by the cumulative acknowledgment and
+// fast-retransmits on three duplicate acks.
+func (s *Source) processAck(h mflow.Header) {
+	acked := false
+	for len(s.unacked) > 0 && s.unacked[0].seq <= h.Seq {
+		s.unacked = s.unacked[1:]
+		acked = true
+	}
+	switch {
+	case acked:
+		s.rtoShift = 0
+		s.dupAcks = 0
+		s.lastAck = h.Seq
+		s.rearmRTO()
+	case h.Seq == s.lastAck && len(s.unacked) > 0:
+		s.dupAcks++
+		if s.dupAcks >= 3 && s.unacked[0].seq > s.frSeq {
+			// The packet right after the cumulative ack is missing while
+			// later data keeps arriving: re-send it now, not at RTO — but
+			// only once per hole; further duplicates are echoes of data
+			// already in flight (a lost re-send falls back to the RTO).
+			s.frSeq = s.unacked[0].seq
+			s.FastRetransmits++
+			s.resend(&s.unacked[0])
+		}
+	default:
+		s.lastAck = h.Seq
+		s.dupAcks = 0
+	}
+}
+
+// resend re-sends one unacknowledged packet with a fresh timestamp.
+func (s *Source) resend(u *srcUnacked) {
+	u.tries++
+	s.Retransmits++
+	s.sendPacket(u.seq, u.idx)
+}
+
+// rto returns the current retransmission timeout: twice the smoothed RTT,
+// clamped to [RTOMin, RTOMax], doubled per back-to-back timeout.
+func (s *Source) rto() time.Duration {
+	rto := 2 * s.RTTEWMA
+	if rto < s.cfg.RTOMin {
+		rto = s.cfg.RTOMin
+	}
+	rto <<= s.rtoShift
+	if rto > s.cfg.RTOMax {
+		rto = s.cfg.RTOMax
+	}
+	return rto
+}
+
+func (s *Source) armRTO() {
+	s.rtoTimer = s.h.eng.After(s.rto(), s.onRTO)
+}
+
+func (s *Source) rearmRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+	if len(s.unacked) > 0 {
+		s.armRTO()
+	}
+}
+
+func (s *Source) onRTO() {
+	s.rtoTimer = nil
+	if len(s.unacked) == 0 {
+		return
+	}
+	s.RTOs++
+	u := &s.unacked[0]
+	if u.tries >= s.cfg.MaxTries {
+		s.Abandoned++
+		s.unacked = s.unacked[1:]
+	} else {
+		s.resend(u)
+		s.rtoShift++
+	}
+	if len(s.unacked) > 0 {
+		s.armRTO()
+	}
+}
+
+// sendPacket wraps one prepared ALF packet in an MFLOW data header (fresh
+// timestamp) and ships it to the Scout host.
+func (s *Source) sendPacket(seq uint32, idx int) {
+	alf := s.packets[idx]
+	payload := make([]byte, mflow.HeaderLen+len(alf))
+	mflow.Header{Kind: mflow.KindData, Seq: seq, TS: int64(s.h.eng.Now())}.Put(payload[:mflow.HeaderLen])
+	copy(payload[mflow.HeaderLen:], alf)
+	s.h.SendUDP(s.dst, s.dstPort, s.cfg.SrcPort, payload)
+	s.PacketsSent++
 }
 
 // trySend transmits every packet the window (and pacing) currently allows.
@@ -181,12 +320,13 @@ func (s *Source) trySend() {
 			}
 		}
 		s.seq++
-		alf := s.packets[s.next]
-		payload := make([]byte, mflow.HeaderLen+len(alf))
-		mflow.Header{Kind: mflow.KindData, Seq: s.seq, TS: int64(s.h.eng.Now())}.Put(payload[:mflow.HeaderLen])
-		copy(payload[mflow.HeaderLen:], alf)
-		s.h.SendUDP(s.dst, s.dstPort, s.cfg.SrcPort, payload)
-		s.PacketsSent++
+		s.sendPacket(s.seq, s.next)
+		if s.cfg.Retransmit {
+			s.unacked = append(s.unacked, srcUnacked{seq: s.seq, idx: s.next, tries: 1})
+			if s.rtoTimer == nil {
+				s.armRTO()
+			}
+		}
 		s.next++
 	}
 	if s.next == len(s.packets) {

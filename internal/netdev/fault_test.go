@@ -1,0 +1,282 @@
+package netdev
+
+import (
+	"testing"
+	"time"
+
+	"scout/internal/msg"
+	"scout/internal/sim"
+)
+
+// A lost frame must still occupy the medium: loss happens on the wire, after
+// the NIC serialized the frame. Before the fix, loss was rolled before
+// serialization, so a lossy link freed up airtime for every dropped frame.
+func TestLossChargesAirtime(t *testing.T) {
+	eng := sim.New(1)
+	// 1 Mb/s: a 1000-byte frame occupies the wire for 8 ms.
+	l := NewLink(eng, LinkConfig{BitsPerSec: 1_000_000, Loss: 1.0})
+	a := NewDevice(l, macA, nil)
+	NewDevice(l, macB, nil)
+	a.Transmit(macB, msg.New(make([]byte, 1000)))
+	if got := l.BusyUntil(); got != sim.Time(8*time.Millisecond) {
+		t.Fatalf("medium busy until %v after a dropped frame, want 8ms", got)
+	}
+	// The airtime must delay a later frame on a selectively lossy link:
+	// drop everything to B, deliver everything to C.
+	eng = sim.New(1)
+	l = NewLink(eng, LinkConfig{BitsPerSec: 1_000_000})
+	l.InjectFaults(FaultPlan{
+		Loss:  1.0,
+		Match: func(src, dst MAC, etherType uint16) bool { return dst == macB },
+	})
+	a = NewDevice(l, macA, nil)
+	NewDevice(l, macB, nil)
+	c := NewDevice(l, macC, nil)
+	var at sim.Time
+	c.OnReceive = func(m *msg.Msg) { at = eng.Now(); m.Free() }
+	a.Transmit(macB, msg.New(make([]byte, 1000))) // dropped, but holds the wire 8ms
+	a.Transmit(macC, msg.New(make([]byte, 1000)))
+	eng.Run()
+	if at != sim.Time(16*time.Millisecond) {
+		t.Fatalf("frame behind a dropped one arrived at %v, want 16ms", at)
+	}
+}
+
+// Jitter stretches flight times but must never invert delivery order on a
+// shared serial medium. Before the fix, a small jitter draw for frame N+1
+// after a large one for frame N swapped their arrivals.
+func TestJitterNeverReordersFrames(t *testing.T) {
+	eng := sim.New(3)
+	l := NewLink(eng, LinkConfig{BitsPerSec: 1 << 40, Delay: time.Millisecond, Jitter: 5 * time.Millisecond})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	var order []byte
+	var last sim.Time
+	b.OnReceive = func(m *msg.Msg) {
+		if eng.Now() < last {
+			t.Fatalf("arrival at %v before previous %v", eng.Now(), last)
+		}
+		last = eng.Now()
+		order = append(order, m.Bytes()[0])
+		m.Free()
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		a.Transmit(macB, msg.New([]byte{byte(i)}))
+	}
+	eng.Run()
+	if len(order) != n {
+		t.Fatalf("delivered %d of %d", len(order), n)
+	}
+	for i, v := range order {
+		if v != byte(i) {
+			t.Fatalf("frame %d delivered in position %d: jitter reordered the link", v, i)
+		}
+	}
+}
+
+// faultRun sends n frames A→B under plan and returns delivered payload
+// first-bytes in arrival order plus the link and fault stats.
+func faultRun(t *testing.T, seed int64, plan FaultPlan, n int) (order []int, arrivals []sim.Time, fst FaultStats, dropped int64) {
+	t.Helper()
+	eng := sim.New(seed)
+	l := NewLink(eng, LinkConfig{BitsPerSec: 10_000_000, Delay: 100 * time.Microsecond})
+	l.InjectFaults(plan)
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	b.OnReceive = func(m *msg.Msg) {
+		b := m.Bytes()
+		order = append(order, int(b[0])<<8|int(b[1]))
+		arrivals = append(arrivals, eng.Now())
+		m.Free()
+	}
+	for i := 0; i < n; i++ {
+		a.Transmit(macB, msg.New([]byte{byte(i >> 8), byte(i), 0xAA, 0xBB}))
+	}
+	eng.Run()
+	_, dropped, _ = l.Stats()
+	return order, arrivals, l.FaultStats(), dropped
+}
+
+func TestFaultKinds(t *testing.T) {
+	const n = 400
+	tests := []struct {
+		name  string
+		plan  FaultPlan
+		check func(t *testing.T, order []int, fst FaultStats, dropped int64)
+	}{
+		{
+			name: "loss",
+			plan: FaultPlan{Loss: 0.2},
+			check: func(t *testing.T, order []int, fst FaultStats, dropped int64) {
+				if fst.Lost == 0 || dropped != fst.Lost {
+					t.Fatalf("Lost=%d dropped=%d", fst.Lost, dropped)
+				}
+				if len(order)+int(fst.Lost) != n {
+					t.Fatalf("delivered %d + lost %d != %d", len(order), fst.Lost, n)
+				}
+			},
+		},
+		{
+			name: "burst",
+			plan: FaultPlan{BurstLoss: 0.02, BurstLen: 8},
+			check: func(t *testing.T, order []int, fst FaultStats, dropped int64) {
+				if fst.BurstLost == 0 || dropped != fst.BurstLost {
+					t.Fatalf("BurstLost=%d dropped=%d", fst.BurstLost, dropped)
+				}
+				// Bursts drop runs of consecutive frames: find one gap of
+				// length ≥ 2 in the delivered sequence.
+				maxRun := 0
+				for i := 1; i < len(order); i++ {
+					if run := order[i] - order[i-1] - 1; run > maxRun {
+						maxRun = run
+					}
+				}
+				if maxRun < 2 {
+					t.Fatalf("no multi-frame burst observed (max gap %d)", maxRun)
+				}
+			},
+		},
+		{
+			name: "dup",
+			plan: FaultPlan{Dup: 0.2},
+			check: func(t *testing.T, order []int, fst FaultStats, dropped int64) {
+				if fst.Dupped == 0 || dropped != 0 {
+					t.Fatalf("Dupped=%d dropped=%d", fst.Dupped, dropped)
+				}
+				if len(order) != n+int(fst.Dupped) {
+					t.Fatalf("delivered %d, want %d + %d dups", len(order), n, fst.Dupped)
+				}
+				seen := map[int]int{}
+				for _, v := range order {
+					seen[v]++
+				}
+				twice := 0
+				for _, c := range seen {
+					if c == 2 {
+						twice++
+					}
+				}
+				if twice != int(fst.Dupped) {
+					t.Fatalf("%d frames delivered twice, stats say %d", twice, fst.Dupped)
+				}
+			},
+		},
+		{
+			name: "reorder",
+			plan: FaultPlan{Reorder: 0.1, ReorderDelay: 2 * time.Millisecond},
+			check: func(t *testing.T, order []int, fst FaultStats, dropped int64) {
+				if fst.Reordered == 0 || dropped != 0 || len(order) != n {
+					t.Fatalf("Reordered=%d dropped=%d delivered=%d", fst.Reordered, dropped, len(order))
+				}
+				inversions := 0
+				for i := 1; i < len(order); i++ {
+					if order[i] < order[i-1] {
+						inversions++
+					}
+				}
+				if inversions == 0 {
+					t.Fatal("reorder plan produced no out-of-order deliveries")
+				}
+			},
+		},
+		{
+			name: "corrupt",
+			plan: FaultPlan{Corrupt: 0.3},
+			check: func(t *testing.T, order []int, fst FaultStats, dropped int64) {
+				if fst.Corrupted == 0 || dropped != 0 || len(order) != n {
+					t.Fatalf("Corrupted=%d dropped=%d delivered=%d", fst.Corrupted, dropped, len(order))
+				}
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			order, arrivals, fst, dropped := faultRun(t, 42, tc.plan, n)
+			if fst.Matched != n {
+				t.Fatalf("Matched=%d, want %d", fst.Matched, n)
+			}
+			tc.check(t, order, fst, dropped)
+
+			// Determinism: a same-seed run replays bit for bit.
+			order2, arrivals2, fst2, dropped2 := faultRun(t, 42, tc.plan, n)
+			if len(order) != len(order2) || fst != fst2 || dropped != dropped2 {
+				t.Fatalf("same-seed runs diverged: %d vs %d frames, %+v vs %+v",
+					len(order), len(order2), fst, fst2)
+			}
+			for i := range order {
+				if order[i] != order2[i] {
+					t.Fatalf("delivery %d diverged across same-seed runs", i)
+				}
+			}
+			for i := range arrivals {
+				if arrivals[i] != arrivals2[i] {
+					t.Fatalf("arrival %d diverged across same-seed runs", i)
+				}
+			}
+		})
+	}
+}
+
+// Corruption flips payload bytes in place; the Ethernet header stays intact
+// so the frame still reaches its addressee.
+func TestCorruptFlipsPayloadByte(t *testing.T) {
+	eng := sim.New(9)
+	l := NewLink(eng, LinkConfig{BitsPerSec: 1 << 40})
+	l.InjectFaults(FaultPlan{Corrupt: 1.0})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	var got []byte
+	b.OnReceive = func(m *msg.Msg) { got = m.CopyOut(); m.Free() }
+	frame := make([]byte, 64)
+	copy(frame, orig)
+	a.Transmit(macB, msg.New(frame))
+	eng.Run()
+	if got == nil {
+		t.Fatal("corrupted frame not delivered")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+			if i < 14 {
+				t.Fatalf("byte %d inside the Ethernet header corrupted", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+// The Match predicate scopes a plan to selected frames.
+func TestFaultMatchPredicate(t *testing.T) {
+	eng := sim.New(5)
+	l := NewLink(eng, LinkConfig{BitsPerSec: 1 << 40})
+	l.InjectFaults(FaultPlan{
+		Loss:  1.0,
+		Match: func(src, dst MAC, etherType uint16) bool { return etherType == 0x0800 },
+	})
+	a := NewDevice(l, macA, nil)
+	b := NewDevice(l, macB, nil)
+	recv := 0
+	b.OnReceive = func(m *msg.Msg) { recv++; m.Free() }
+	ipFrame := make([]byte, 60)
+	ipFrame[12], ipFrame[13] = 0x08, 0x00
+	arpFrame := make([]byte, 60)
+	arpFrame[12], arpFrame[13] = 0x08, 0x06
+	a.Transmit(macB, msg.New(ipFrame))
+	a.Transmit(macB, msg.New(arpFrame))
+	eng.Run()
+	if recv != 1 {
+		t.Fatalf("delivered %d frames, want only the non-IP one", recv)
+	}
+	fst := l.FaultStats()
+	if fst.Matched != 1 || fst.Lost != 1 {
+		t.Fatalf("stats %+v, want Matched=1 Lost=1", fst)
+	}
+}

@@ -27,6 +27,11 @@ func (m MAC) String() string {
 // MTU is the Ethernet maximum transmission unit the simulation uses.
 const MTU = 1500
 
+// ethHeaderLen is the Ethernet header size. The fault layer needs it to
+// locate the EtherType and payload of raw frames; proto/eth owns the real
+// header codec (it imports this package, so it cannot be imported here).
+const ethHeaderLen = 14
+
 // LinkConfig describes a simulated shared link.
 type LinkConfig struct {
 	// BitsPerSec is the link bandwidth; it determines frame serialization
@@ -47,10 +52,12 @@ type Link struct {
 	devs  map[MAC]*Device
 	order []*Device // insertion order, for deterministic broadcast
 
-	busyUntil sim.Time
-	sent      int64
-	dropped   int64
-	delivered int64
+	busyUntil   sim.Time
+	lastArrival sim.Time // monotone delivery watermark (per-link FIFO)
+	faults      *faultState
+	sent        int64
+	dropped     int64
+	delivered   int64
 }
 
 // NewLink creates a link on eng with the given configuration.
@@ -77,25 +84,65 @@ func (l *Link) serialization(n int) time.Duration {
 // free.
 func (l *Link) transmit(src *Device, dst MAC, m *msg.Msg) {
 	l.sent++
-	if l.cfg.Loss > 0 && l.eng.Rand().Float64() < l.cfg.Loss {
-		l.dropped++
-		m.Free()
-		return
-	}
+	// The frame occupies the medium regardless of its fate: serialization
+	// happens at the transmitting NIC, loss happens on the wire, so a lossy
+	// link still carries the load of every frame it drops.
 	start := l.eng.Now()
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
 	ser := l.serialization(m.Len())
 	l.busyUntil = start.Add(ser)
-	arrive := l.busyUntil.Add(l.cfg.Delay)
+
+	fs := l.matchFaults(src, dst, m)
+	if l.lossRoll(fs) {
+		l.dropped++
+		m.Free()
+		return
+	}
+	if fs != nil && fs.plan.Corrupt > 0 && l.eng.Rand().Float64() < fs.plan.Corrupt {
+		corruptFrame(l.eng.Rand(), m)
+		fs.stats.Corrupted++
+	}
+	l.schedule(src, dst, m, l.busyUntil, fs)
+	if fs != nil && fs.plan.Dup > 0 && l.eng.Rand().Float64() < fs.plan.Dup {
+		fs.stats.Dupped++
+		// The copy occupies the medium like any other frame.
+		l.busyUntil = l.busyUntil.Add(ser)
+		l.schedule(src, dst, m.Clone(), l.busyUntil, fs)
+	}
+}
+
+// schedule queues the delivery of a frame whose serialization ends at txEnd.
+func (l *Link) schedule(src *Device, dst MAC, m *msg.Msg, txEnd sim.Time, fs *faultState) {
+	arrive := txEnd.Add(l.cfg.Delay)
 	if l.cfg.Jitter > 0 {
 		arrive = arrive.Add(time.Duration(l.eng.Rand().Int63n(int64(l.cfg.Jitter))))
 	}
+	if fs != nil && fs.plan.Reorder > 0 && l.eng.Rand().Float64() < fs.plan.Reorder {
+		fs.stats.Reordered++
+		// Deliberate reordering: hold the frame past its successors. Held
+		// frames bypass the monotonicity clamp below and do not advance
+		// the watermark.
+		extra := 1 + l.eng.Rand().Int63n(int64(fs.plan.ReorderDelay))
+		l.eng.At(arrive.Add(time.Duration(extra)), func() { l.deliver(src, dst, m) })
+		return
+	}
+	// A shared serial medium never reorders: jitter may stretch a frame's
+	// flight time, but frame N+1 cannot overtake frame N.
+	if arrive < l.lastArrival {
+		arrive = l.lastArrival
+	}
+	l.lastArrival = arrive
 	l.eng.At(arrive, func() {
 		l.deliver(src, dst, m)
 	})
 }
+
+// BusyUntil reports when the medium frees up — the serialization horizon,
+// which advances for dropped frames too (tests observe the airtime of loss
+// through it).
+func (l *Link) BusyUntil() sim.Time { return l.busyUntil }
 
 func (l *Link) deliver(src *Device, dst MAC, m *msg.Msg) {
 	if dst == Broadcast {

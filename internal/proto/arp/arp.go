@@ -93,6 +93,7 @@ type Impl struct {
 type resolution struct {
 	callbacks []func(netdev.MAC, bool)
 	tries     int
+	timeout   time.Duration // doubles per retry, starting at RequestTimeout
 	timer     interface{ Cancel() }
 }
 
@@ -248,7 +249,7 @@ func (a *Impl) Resolve(ip inet.Addr, cb func(mac netdev.MAC, ok bool)) {
 	}
 	res, inflight := a.pending[ip]
 	if !inflight {
-		res = &resolution{}
+		res = &resolution{timeout: a.RequestTimeout}
 		a.pending[ip] = res
 	}
 	res.callbacks = append(res.callbacks, cb)
@@ -267,7 +268,9 @@ func (a *Impl) transmitRequest(ip inet.Addr, res *resolution) {
 		TargetIP: ip,
 	}
 	a.send(req, netdev.Broadcast)
-	res.timer = a.cpu.Engine().After(a.RequestTimeout, func() {
+	timeout := res.timeout
+	res.timeout *= 2 // exponential backoff: don't flood a silent subnet
+	res.timer = a.cpu.Engine().After(timeout, func() {
 		if a.pending[ip] != res {
 			return // resolved meanwhile
 		}

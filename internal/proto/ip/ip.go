@@ -104,6 +104,12 @@ type Stats struct {
 	NotMine       int64
 	Reassembled   int64
 	ReasmTimeouts int64
+	// ReasmDupDrops counts exact-duplicate fragments discarded during
+	// reassembly (retransmitted or link-duplicated copies).
+	ReasmDupDrops int64
+	// ReasmOverflows counts partial datagrams evicted for exceeding the
+	// per-entry piece or byte caps.
+	ReasmOverflows int64
 }
 
 // Impl is the IP router implementation.
@@ -117,6 +123,11 @@ type Impl struct {
 	ReasmPriority int
 	// ReasmTimeout bounds how long partial datagrams are held.
 	ReasmTimeout time.Duration
+	// ReasmMaxPieces and ReasmMaxBytes cap one partial datagram's buffered
+	// fragments; an entry that exceeds either is evicted (a duplicated or
+	// corrupted fragment stream must not pin unbounded memory).
+	ReasmMaxPieces int
+	ReasmMaxBytes  int
 	// PendingLimit bounds packets buffered while ARP resolves.
 	PendingLimit int
 
@@ -134,14 +145,16 @@ type Impl struct {
 // New returns an IP router with the given host configuration.
 func New(cfg Config, cpu *sched.Sched) *Impl {
 	return &Impl{
-		cfg:           cfg,
-		cpu:           cpu,
-		PerPacketCost: 2 * time.Microsecond,
-		ReasmPriority: 2,
-		ReasmTimeout:  30 * time.Second,
-		PendingLimit:  8,
-		byProto:       make(map[uint8]func(*msg.Msg) (*core.Path, error)),
-		reasm:         make(map[reasmKey]*reasmEntry),
+		cfg:            cfg,
+		cpu:            cpu,
+		PerPacketCost:  2 * time.Microsecond,
+		ReasmPriority:  2,
+		ReasmTimeout:   30 * time.Second,
+		ReasmMaxPieces: 64,
+		ReasmMaxBytes:  256 << 10,
+		PendingLimit:   8,
+		byProto:        make(map[uint8]func(*msg.Msg) (*core.Path, error)),
+		reasm:          make(map[reasmKey]*reasmEntry),
 	}
 }
 

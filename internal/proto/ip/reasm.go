@@ -31,6 +31,7 @@ type fragPiece struct {
 
 type reasmEntry struct {
 	pieces   []fragPiece
+	bytes    int // buffered payload bytes across pieces
 	gotLast  bool
 	totalLen int
 	timer    *sim.Event
@@ -87,7 +88,23 @@ func (p *Impl) acceptFragment(m *msg.Msg) {
 			}
 		})
 	}
+	// Drop exact duplicates: a retransmitted or link-duplicated fragment
+	// already covered by an equal-or-longer piece at the same offset adds
+	// nothing and, unchecked, grows the entry without bound.
+	for _, f := range e.pieces {
+		if f.off == h.FragOff && len(f.data) >= m.Len() {
+			p.stats.ReasmDupDrops++
+			return
+		}
+	}
 	e.pieces = append(e.pieces, fragPiece{off: h.FragOff, data: m.CopyOut()})
+	e.bytes += m.Len()
+	if len(e.pieces) > p.ReasmMaxPieces || e.bytes > p.ReasmMaxBytes {
+		delete(p.reasm, key)
+		e.timer.Cancel()
+		p.stats.ReasmOverflows++
+		return
+	}
 	if !h.MF {
 		e.gotLast = true
 		e.totalLen = h.FragOff + m.Len()

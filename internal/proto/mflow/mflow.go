@@ -1,13 +1,24 @@
 // Package mflow implements MFLOW, the paper's simple flow-control protocol
-// (§4.1): sequence numbers give ordered but not reliable delivery, the
-// receiver advertises the maximum sequence number it is willing to accept
-// based on the last processed packet and the input queue size, and a header
-// timestamp lets the sender measure round-trip latency (§4.2).
+// (§4.1): sequence numbers give ordered delivery, the receiver advertises
+// the maximum sequence number it is willing to accept based on the last
+// processed packet and the input queue size, and a header timestamp lets the
+// sender measure round-trip latency (§4.2).
+//
+// Delivery comes in two flavours, chosen per path with the PA_MFLOW_RELIABLE
+// attribute. The default is the paper's ordered-but-unreliable mode: packets
+// are delivered in arrival order, losses surface as Gaps, and a small recent
+// window distinguishes true duplicates from reordered late originals. The
+// reliable mode adds loss tolerance on both sides: the receiver resequences
+// out-of-order data (holding it briefly for a missing predecessor) and acks
+// cumulatively, while the sender keeps a window-bounded buffer of
+// unacknowledged packets and retransmits on timeout (exponential backoff,
+// capped tries) or after three duplicate acks.
 package mflow
 
 import (
 	"encoding/binary"
 	"errors"
+	"sort"
 	"time"
 
 	"scout/internal/attr"
@@ -15,6 +26,9 @@ import (
 	"scout/internal/msg"
 	"scout/internal/sim"
 )
+
+// AttrReliable re-exports the reliable-mode path attribute.
+const AttrReliable = attr.MFLOWReliable
 
 // HeaderLen is the length of an MFLOW header.
 const HeaderLen = 17
@@ -26,9 +40,9 @@ const (
 )
 
 // Header is an MFLOW header. For data, Seq numbers the packet and TS is the
-// sender's send time. For acks, Seq is the last processed sequence number,
-// Win the advertised maximum acceptable sequence number, and TS echoes the
-// data packet's timestamp.
+// sender's send time. For acks, Seq is the cumulative acknowledgment (every
+// sequence number at or below it arrived), Win the advertised maximum
+// acceptable sequence number, and TS echoes the data packet's timestamp.
 type Header struct {
 	Kind uint8
 	Seq  uint32
@@ -57,12 +71,21 @@ func Parse(b []byte) (Header, error) {
 	}, nil
 }
 
-// Stats counts receiver behaviour.
+// Stats counts per-flow protocol behaviour.
 type Stats struct {
-	Delivered int64
-	OldDrops  int64 // duplicates and reordered-late packets dropped
-	Gaps      int64 // sequence numbers skipped (lost packets)
-	AcksSent  int64
+	// Receiver side.
+	Delivered   int64 // data packets delivered upward
+	OldDrops    int64 // true duplicates (or packets older than the dedup window)
+	Late        int64 // reordered originals delivered after a newer packet
+	Gaps        int64 // sequence numbers never delivered upward
+	AcksSent    int64
+	HoldFlushes int64 // reliable: hold buffer flushed with holes outstanding
+
+	// Sender side.
+	AcksSeen    int64
+	Retransmits int64 // data packets re-sent (timeout or fast retransmit)
+	RTOs        int64 // retransmission timeouts fired
+	Abandoned   int64 // packets given up on after MaxTries transmissions
 }
 
 // Impl is the MFLOW router implementation.
@@ -71,14 +94,43 @@ type Impl struct {
 
 	// PerPacketCost is the CPU charged per MFLOW header processed.
 	PerPacketCost time.Duration
-	// AckEvery controls how many delivered packets elapse between window
+	// AckEvery controls how many data arrivals elapse between window
 	// advertisements.
 	AckEvery int
+	// RecentWindow bounds the receiver's duplicate-detection memory (and
+	// the reliable hold buffer), in sequence numbers behind the highest
+	// seen.
+	RecentWindow uint32
+	// HoldTimeout bounds how long a reliable receiver holds out-of-order
+	// packets for a missing predecessor before flushing them upward.
+	HoldTimeout time.Duration
+	// RTOMin and RTOMax bound the sender's retransmission timeout.
+	RTOMin, RTOMax time.Duration
+	// MaxTries caps transmissions per packet before the sender gives up.
+	MaxTries int
 }
 
 // New returns an MFLOW router.
 func New(eng *sim.Engine) *Impl {
-	return &Impl{eng: eng, PerPacketCost: time.Microsecond, AckEvery: 1}
+	return &Impl{
+		eng:           eng,
+		PerPacketCost: time.Microsecond,
+		AckEvery:      1,
+		RecentWindow:  256,
+		// Recovery ordering: fast retransmit (a few packet times) beats the
+		// RTO backstop, which beats the hold flush — so a hole is almost
+		// always repaired before anything is given up on. The hold ceiling
+		// out-waits a chain of unlucky retransmissions (lost on the wire,
+		// or dropped at a full input queue the advertised window doesn't
+		// reserve for them): 50+100+200+400ms of backoff still beats 1s.
+		// The RTO floor sits above the ack jitter a decode-bound path
+		// produces (acks turn around after ~20ms of frame decode), or
+		// every stall would look like a loss.
+		HoldTimeout: time.Second,
+		RTOMin:      50 * time.Millisecond,
+		RTOMax:      500 * time.Millisecond,
+		MaxTries:    8,
+	}
 }
 
 // Services declares up (MPEG) and down (UDP, init first).
@@ -101,24 +153,69 @@ func (f *Impl) Demux(r *core.Router, enter int, m *msg.Msg) (*core.Path, error) 
 // flowState is the per-path receiver/sender state.
 type flowState struct {
 	impl     *Impl
-	lastSeq  uint32 // last sequence delivered upward
-	started  bool
-	nextOut  uint32 // sender-side next sequence
-	sinceAck int
-	inQ      *core.Queue
-	stats    Stats
+	reliable bool
+
+	// Receiver state. cumSeq is the cumulative watermark: every sequence
+	// number at or below it was delivered upward (or given up on); maxSeq
+	// is the highest sequence seen. In unreliable mode, recent marks
+	// delivered seqs in (cumSeq, maxSeq]; in reliable mode, held buffers
+	// undelivered out-of-order packets in that range.
+	started   bool
+	cumSeq    uint32
+	maxSeq    uint32
+	recent    map[uint32]bool
+	held      map[uint32]*msg.Msg
+	holdTimer *sim.Event
+	sinceAck  int
+	lastTS    int64
+	inQ       *core.Queue
+	bwdIface  *core.NetIface // for deliveries from timer context
+
+	// Sender state.
+	nextOut  uint32
+	unacked  []*unackedPkt
+	sendWin  uint32
+	srtt     time.Duration
+	rtoTimer *sim.Event
+	rtoShift uint
+	lastAck  uint32
+	dupAcks  int
+	frSeq    uint32 // highest seq fast-retransmitted: one per hole
+	fwdIface *core.NetIface
+
+	stats Stats
+}
+
+// unackedPkt is a sent-but-unacknowledged data packet. data holds an
+// independent copy of the MFLOW header plus payload, ready to re-enter the
+// path below the MFLOW stage (downstream stages push their own headers).
+type unackedPkt struct {
+	seq   uint32
+	data  []byte
+	tries int
 }
 
 // CreateStage contributes the MFLOW stage.
 func (f *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stage, *core.NextHop, error) {
 	fs := &flowState{impl: f}
+	if v, ok := a.Get(attr.MFLOWReliable); ok {
+		fs.reliable, _ = v.(bool)
+	}
+	if fs.reliable {
+		fs.held = make(map[uint32]*msg.Msg)
+	} else {
+		fs.recent = make(map[uint32]bool)
+	}
 	s := &core.Stage{Data: fs}
-	s.SetIface(core.FWD, core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+	fwd := core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
 		return fs.output(i, m)
-	}))
-	s.SetIface(core.BWD, core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+	})
+	bwd := core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
 		return fs.input(i, m)
-	}))
+	})
+	s.SetIface(core.FWD, fwd)
+	s.SetIface(core.BWD, bwd)
+	fs.fwdIface, fs.bwdIface = fwd, bwd
 	s.Establish = func(s *core.Stage, a *attr.Attrs) error {
 		// The input queue whose free space backs the advertised window
 		// sits at the device end of the path.
@@ -129,11 +226,29 @@ func (f *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 		fs.inQ = s.Path.Q[core.QIn(d)]
 		return nil
 	}
+	s.Destroy = func(s *core.Stage) { fs.teardown() }
 	down, err := r.Link("down")
 	if err != nil {
 		return nil, nil, err
 	}
 	return s, &core.NextHop{Router: down.Peer, Service: down.PeerService}, nil
+}
+
+// teardown cancels timers and frees buffered packets at path deletion.
+func (fs *flowState) teardown() {
+	if fs.holdTimer != nil {
+		fs.holdTimer.Cancel()
+		fs.holdTimer = nil
+	}
+	if fs.rtoTimer != nil {
+		fs.rtoTimer.Cancel()
+		fs.rtoTimer = nil
+	}
+	for seq, m := range fs.held {
+		delete(fs.held, seq)
+		m.Free()
+	}
+	fs.unacked = nil
 }
 
 // output sends a data packet (Scout as MFLOW sender).
@@ -143,11 +258,42 @@ func (fs *flowState) output(i *core.NetIface, m *msg.Msg) error {
 	fs.nextOut++
 	h := Header{Kind: KindData, Seq: fs.nextOut, TS: int64(f.eng.Now())}
 	h.Put(m.Push(HeaderLen))
+	if fs.reliable {
+		// Buffer an independent copy for retransmission (the original's
+		// buffer keeps moving down the path and onto the wire).
+		buf := make([]byte, m.Len())
+		copy(buf, m.Bytes())
+		fs.unacked = append(fs.unacked, &unackedPkt{seq: fs.nextOut, data: buf, tries: 1})
+		// The buffer is bounded by the advertised window: the receiver
+		// accepts nothing beyond it, so older copies past the window plus
+		// a minimal initial credit are dead weight.
+		limit := 32
+		if fs.sendWin > fs.ackedUpTo() {
+			limit += int(fs.sendWin - fs.ackedUpTo())
+		}
+		for len(fs.unacked) > limit {
+			fs.unacked[0] = nil
+			fs.unacked = fs.unacked[1:]
+			fs.stats.Abandoned++
+		}
+		if fs.rtoTimer == nil {
+			fs.armRTO()
+		}
+	}
 	return i.DeliverNext(m)
 }
 
-// input processes an arriving data packet: drop stale sequence numbers,
-// deliver the rest in arrival order, and advertise the window.
+// ackedUpTo returns the highest cumulatively acknowledged sequence number.
+func (fs *flowState) ackedUpTo() uint32 {
+	if len(fs.unacked) > 0 {
+		return fs.unacked[0].seq - 1
+	}
+	return fs.nextOut
+}
+
+// input processes an arriving MFLOW packet: acks feed the sender machinery;
+// data is deduplicated, delivered (resequenced in reliable mode), and
+// acknowledged.
 func (fs *flowState) input(i *core.NetIface, m *msg.Msg) error {
 	f := fs.impl
 	p := i.Path()
@@ -163,40 +309,304 @@ func (fs *flowState) input(i *core.NetIface, m *msg.Msg) error {
 		return err
 	}
 	if h.Kind != KindData {
-		m.Free() // receiver side ignores stray acks
-		return nil
-	}
-	if fs.started && h.Seq <= fs.lastSeq {
-		fs.stats.OldDrops++
+		if h.Kind == KindAck {
+			fs.senderAck(h)
+		}
 		m.Free()
 		return nil
 	}
-	if fs.started && h.Seq > fs.lastSeq+1 {
-		fs.stats.Gaps += int64(h.Seq - fs.lastSeq - 1)
+	fs.lastTS = h.TS
+	if !fs.started {
+		fs.started = true
+		// Seqs start at 1; a first arrival within the recent window means
+		// the stream started here (tolerate pre-arrival loss), anything
+		// higher means this path joined mid-stream.
+		if h.Seq > f.RecentWindow {
+			fs.cumSeq = h.Seq - 1
+		}
+		fs.maxSeq = fs.cumSeq
 	}
-	fs.lastSeq = h.Seq
-	fs.started = true
+	if h.Seq <= fs.cumSeq || fs.recent[h.Seq] || (fs.held != nil && fs.held[h.Seq] != nil) {
+		// A true duplicate (or older than the dedup window). Still ack:
+		// duplicates usually mean the sender missed our acknowledgment.
+		fs.stats.OldDrops++
+		fs.ackMaybe(i)
+		m.Free()
+		return nil
+	}
+	if fs.reliable {
+		return fs.inputReliable(i, h, m)
+	}
+	// Arrival-order mode: deliver immediately. A jump past maxSeq counts
+	// the skipped seqs as (provisional) gaps; a late original arriving
+	// afterwards is delivered and un-counts its gap.
+	late := h.Seq < fs.maxSeq
+	if h.Seq > fs.maxSeq {
+		if h.Seq > fs.maxSeq+1 {
+			fs.stats.Gaps += int64(h.Seq - fs.maxSeq - 1)
+		}
+		fs.maxSeq = h.Seq
+	}
+	fs.markDelivered(h.Seq)
+	if late {
+		fs.stats.Late++
+		fs.stats.Gaps--
+	}
 	fs.stats.Delivered++
+	fs.ackMaybe(i)
+	return i.DeliverNext(m)
+}
+
+// inputReliable resequences: in-order data flows upward at once (pulling any
+// buffered successors behind it), out-of-order data waits in the hold buffer
+// for its missing predecessor, bounded by HoldTimeout.
+func (fs *flowState) inputReliable(i *core.NetIface, h Header, m *msg.Msg) error {
+	f := fs.impl
+	if h.Seq > fs.maxSeq {
+		fs.maxSeq = h.Seq
+	}
+	if h.Seq == fs.cumSeq+1 {
+		fs.cumSeq++
+		fs.stats.Delivered++
+		err := i.DeliverNext(m)
+		fs.drainHeld()
+		fs.ackMaybe(i)
+		return err
+	}
+	fs.held[h.Seq] = m
+	if uint32(len(fs.held)) > f.RecentWindow {
+		fs.flushHeld()
+	} else if fs.holdTimer == nil {
+		fs.holdTimer = f.eng.After(f.HoldTimeout, fs.onHoldTimeout)
+	}
+	// The duplicate ack below (still carrying the old cumSeq) is what
+	// drives the sender's fast retransmit.
+	fs.ackMaybe(i)
+	return nil
+}
+
+// drainHeld delivers consecutively held packets above cumSeq.
+func (fs *flowState) drainHeld() {
+	for {
+		m := fs.held[fs.cumSeq+1]
+		if m == nil {
+			break
+		}
+		delete(fs.held, fs.cumSeq+1)
+		fs.cumSeq++
+		fs.stats.Delivered++
+		if err := fs.bwdIface.DeliverNext(m); err != nil {
+			break // the upper stage consumed (and freed) the message
+		}
+	}
+	if len(fs.held) == 0 && fs.holdTimer != nil {
+		fs.holdTimer.Cancel()
+		fs.holdTimer = nil
+	}
+}
+
+// onHoldTimeout gives up on the oldest hole only: everything behind the
+// second hole may still be repaired by a retransmission already in flight
+// (a lost retransmission costs RTOMin plus one doubling, so the hold
+// timeout must out-wait that — and flushing the whole buffer would turn
+// one unlucky packet into a burst of application-visible gaps).
+func (fs *flowState) onHoldTimeout() {
+	fs.holdTimer = nil
+	if len(fs.held) == 0 {
+		return
+	}
+	oldest := uint32(0)
+	for s := range fs.held {
+		if oldest == 0 || s < oldest {
+			oldest = s
+		}
+	}
+	fs.stats.HoldFlushes++
+	fs.stats.Gaps += int64(oldest - fs.cumSeq - 1)
+	fs.cumSeq = oldest - 1
+	fs.drainHeld()
+	if len(fs.held) > 0 && fs.holdTimer == nil {
+		fs.holdTimer = fs.impl.eng.After(fs.impl.HoldTimeout, fs.onHoldTimeout)
+	}
+}
+
+// flushHeld gives up on outstanding holes: everything held is delivered in
+// sequence order and the skipped numbers become gaps.
+func (fs *flowState) flushHeld() {
+	if len(fs.held) == 0 {
+		return
+	}
+	fs.stats.HoldFlushes++
+	seqs := make([]uint32, 0, len(fs.held))
+	for s := range fs.held {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		m := fs.held[s]
+		delete(fs.held, s)
+		if s > fs.cumSeq+1 {
+			fs.stats.Gaps += int64(s - fs.cumSeq - 1)
+		}
+		fs.cumSeq = s
+		fs.stats.Delivered++
+		_ = fs.bwdIface.DeliverNext(m) // on error the upper stage freed m
+	}
+	if fs.holdTimer != nil {
+		fs.holdTimer.Cancel()
+		fs.holdTimer = nil
+	}
+}
+
+// markDelivered records an arrival-order delivery and advances the
+// cumulative watermark past contiguously delivered seqs, pruning the recent
+// set to the configured window.
+func (fs *flowState) markDelivered(seq uint32) {
+	fs.recent[seq] = true
+	for fs.recent[fs.cumSeq+1] {
+		delete(fs.recent, fs.cumSeq+1)
+		fs.cumSeq++
+	}
+	if w := fs.impl.RecentWindow; fs.maxSeq > w && fs.cumSeq < fs.maxSeq-w {
+		// Bound the dedup memory: anything at or below the new watermark
+		// is treated as old from now on.
+		floor := fs.maxSeq - w
+		for s := fs.cumSeq + 1; s <= floor; s++ {
+			delete(fs.recent, s)
+		}
+		fs.cumSeq = floor
+	}
+}
+
+// ackMaybe counts a data arrival and sends a window advertisement every
+// AckEvery arrivals.
+func (fs *flowState) ackMaybe(i *core.NetIface) {
+	f := fs.impl
 	fs.sinceAck++
 	if f.AckEvery > 0 && fs.sinceAck >= f.AckEvery {
 		fs.sinceAck = 0
-		fs.sendAck(i, h.TS)
+		fs.sendAck(i)
 	}
-	return i.DeliverNext(m)
 }
 
 // sendAck turns a window advertisement around onto the path's opposite
 // direction (§2.4.1's turn-around is exactly this).
-func (fs *flowState) sendAck(i *core.NetIface, tsEcho int64) {
-	win := fs.lastSeq
+func (fs *flowState) sendAck(i *core.NetIface) {
+	win := fs.maxSeq
 	if fs.inQ != nil {
 		win += uint32(fs.inQ.Free())
 	}
 	ack := msg.NewWithHeadroom(64, HeaderLen)
-	Header{Kind: KindAck, Seq: fs.lastSeq, Win: win, TS: tsEcho}.Put(ack.Bytes())
+	Header{Kind: KindAck, Seq: fs.cumSeq, Win: win, TS: fs.lastTS}.Put(ack.Bytes())
 	fs.stats.AcksSent++
 	if err := i.DeliverBack(ack); err != nil {
 		ack.Free()
+	}
+}
+
+// senderAck processes a cumulative acknowledgment on the sending side.
+func (fs *flowState) senderAck(h Header) {
+	f := fs.impl
+	fs.stats.AcksSeen++
+	if h.Win > fs.sendWin {
+		fs.sendWin = h.Win
+	}
+	if h.TS > 0 {
+		rtt := f.eng.Now().Sub(sim.Time(h.TS))
+		if fs.srtt == 0 {
+			fs.srtt = rtt
+		} else {
+			fs.srtt += (rtt - fs.srtt) / 8
+		}
+	}
+	acked := false
+	for len(fs.unacked) > 0 && fs.unacked[0].seq <= h.Seq {
+		fs.unacked[0] = nil
+		fs.unacked = fs.unacked[1:]
+		acked = true
+	}
+	switch {
+	case acked:
+		fs.rtoShift = 0
+		fs.dupAcks = 0
+		fs.lastAck = h.Seq
+		fs.rearmRTO()
+	case h.Seq == fs.lastAck && len(fs.unacked) > 0:
+		fs.dupAcks++
+		if fs.dupAcks >= 3 && fs.unacked[0].seq > fs.frSeq {
+			// Three duplicate acks: the packet after the cumulative ack is
+			// missing while later data keeps arriving. Retransmit it once
+			// per hole — further duplicates are echoes of data already in
+			// flight, and a lost retransmission falls back to the RTO.
+			fs.frSeq = fs.unacked[0].seq
+			fs.retransmit(fs.unacked[0])
+		}
+	default:
+		fs.lastAck = h.Seq
+		fs.dupAcks = 0
+	}
+}
+
+// retransmit re-sends one buffered packet down the path.
+func (fs *flowState) retransmit(u *unackedPkt) {
+	u.tries++
+	fs.stats.Retransmits++
+	m := msg.NewWithHeadroom(64, len(u.data))
+	copy(m.Bytes(), u.data)
+	if fs.fwdIface.Path() != nil {
+		fs.fwdIface.Path().ChargeExec(fs.impl.PerPacketCost)
+	}
+	if err := fs.fwdIface.DeliverNext(m); err != nil {
+		m.Free()
+	}
+}
+
+// rto returns the current retransmission timeout: twice the smoothed RTT,
+// clamped to [RTOMin, RTOMax], doubled per back-to-back timeout.
+func (fs *flowState) rto() time.Duration {
+	f := fs.impl
+	rto := 2 * fs.srtt
+	if rto < f.RTOMin {
+		rto = f.RTOMin
+	}
+	rto <<= fs.rtoShift
+	if rto > f.RTOMax {
+		rto = f.RTOMax
+	}
+	return rto
+}
+
+func (fs *flowState) armRTO() {
+	fs.rtoTimer = fs.impl.eng.After(fs.rto(), fs.onRTO)
+}
+
+func (fs *flowState) rearmRTO() {
+	if fs.rtoTimer != nil {
+		fs.rtoTimer.Cancel()
+		fs.rtoTimer = nil
+	}
+	if len(fs.unacked) > 0 {
+		fs.armRTO()
+	}
+}
+
+func (fs *flowState) onRTO() {
+	fs.rtoTimer = nil
+	if len(fs.unacked) == 0 {
+		return
+	}
+	fs.stats.RTOs++
+	u := fs.unacked[0]
+	if u.tries >= fs.impl.MaxTries {
+		fs.stats.Abandoned++
+		fs.unacked[0] = nil
+		fs.unacked = fs.unacked[1:]
+	} else {
+		fs.retransmit(u)
+		fs.rtoShift++
+	}
+	if len(fs.unacked) > 0 {
+		fs.armRTO()
 	}
 }
 

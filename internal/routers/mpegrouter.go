@@ -73,6 +73,10 @@ type mpegStage struct {
 	Packets int64
 	Frames  int64
 	Errors  int64
+	// Complete counts displayed frames whose packets all arrived. Frames
+	// holed by packet loss still display (a glitch, as on real hardware),
+	// so Frames alone overstates delivered quality on a lossy link.
+	Complete int64
 }
 
 // CreateStage contributes the MPEG decode stage. The path must enter from
@@ -163,6 +167,9 @@ func (sd *mpegStage) input(i *core.NetIface, m *msg.Msg) error {
 			return err
 		}
 		if tf != nil {
+			if tf.Complete {
+				sd.Complete++
+			}
 			done = &display.Frame{
 				Seq:  int(tf.No),
 				W:    int(pkt.MBW) * 16,
@@ -178,6 +185,7 @@ func (sd *mpegStage) input(i *core.NetIface, m *msg.Msg) error {
 			return err
 		}
 		if f != nil {
+			sd.Complete++ // the real decoder only emits fully decoded frames
 			done = &display.Frame{
 				Seq: sd.frameSeq,
 				W:   f.W,
@@ -217,4 +225,18 @@ func MPEGStats(p *core.Path, routerName string) (packets, frames, errs int64, ok
 		return 0, 0, 0, false
 	}
 	return sd.Packets, sd.Frames, sd.Errors, true
+}
+
+// MPEGComplete reports how many displayed frames arrived with no packets
+// missing — the loss-sensitive quality metric of the E9 experiment.
+func MPEGComplete(p *core.Path, routerName string) (int64, bool) {
+	s := p.StageOf(routerName)
+	if s == nil {
+		return 0, false
+	}
+	sd, isMPEG := s.Data.(*mpegStage)
+	if !isMPEG {
+		return 0, false
+	}
+	return sd.Complete, true
 }
