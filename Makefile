@@ -1,9 +1,15 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs the same five
-# steps as `make check`, in the same order.
+# steps as `make check`, in the same order, then the tracegate determinism
+# gate and the machine-readable bench artifact.
 
 GO ?= go
 
-.PHONY: check build vet test race lint bench
+# Bench knobs: CI uses BENCHTIME=1x for a fast, non-noisy artifact; local
+# runs can leave the default measurement time.
+BENCHTIME ?= 1s
+BENCHOUT ?= BENCH_pr3.json
+
+.PHONY: check build vet test race lint bench tracegate
 
 check: build vet test race lint
 
@@ -22,5 +28,19 @@ race:
 lint:
 	$(GO) run ./cmd/scoutlint ./...
 
+# bench emits the machine-readable perf trajectory: raw `go test -bench`
+# output is kept in BENCH_raw.txt and parsed into $(BENCHOUT) by
+# cmd/benchjson. Two steps (not a pipe) so a bench failure fails the target.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/pathtrace > BENCH_raw.txt
+	$(GO) run ./cmd/benchjson -in BENCH_raw.txt -out $(BENCHOUT)
+
+# tracegate is the determinism regression gate: two same-seed E10 smoke runs
+# must export byte-identical traces and metrics.
+tracegate:
+	@dir=$$(mktemp -d) && \
+	$(GO) run ./cmd/mpegbench -run e10 -e10-smoke -trace $$dir/a.json -metrics $$dir/am.json >/dev/null && \
+	$(GO) run ./cmd/mpegbench -run e10 -e10-smoke -trace $$dir/b.json -metrics $$dir/bm.json >/dev/null && \
+	cmp $$dir/a.json $$dir/b.json && cmp $$dir/am.json $$dir/bm.json && \
+	echo "tracegate: E10 exports byte-identical across same-seed runs"; \
+	rc=$$?; rm -rf $$dir; exit $$rc

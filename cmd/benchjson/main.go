@@ -1,0 +1,143 @@
+// benchjson converts `go test -bench` text output into a machine-readable
+// JSON document, so CI can accumulate the perf trajectory run over run
+// (BENCH_pr3.json artifact).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... > bench.txt
+//	benchjson -in bench.txt -out BENCH_pr3.json
+//	go test -bench . -benchmem . | benchjson -out BENCH_pr3.json
+//
+// It parses the standard benchmark line format — name, iteration count,
+// then value/unit pairs (ns/op, B/op, allocs/op, and any custom
+// b.ReportMetric units like fps) — plus the goos/goarch/pkg/cpu header
+// lines. Unrecognized lines pass through untouched to stderr-free silence,
+// so `go test` status lines don't break parsing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	inPath := flag.String("in", "", "input file (default stdin)")
+	outPath := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	d, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(d.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found in input")
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *outPath == "" {
+		_, err = os.Stdout.Write(b)
+	} else {
+		err = os.WriteFile(*outPath, b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(d.Benchmarks))
+}
+
+func parse(r io.Reader) (doc, error) {
+	var d doc
+	d.Benchmarks = []benchmark{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			d.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			d.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			d.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := benchmark{Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		b.Name = fields[0]
+		if i := strings.LastIndex(b.Name, "-"); i > 0 {
+			if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+				b.Procs = procs
+				b.Name = b.Name[:i]
+			}
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			d.Benchmarks = append(d.Benchmarks, b)
+		}
+	}
+	return d, sc.Err()
+}

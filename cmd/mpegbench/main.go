@@ -5,13 +5,19 @@
 // Usage:
 //
 //	mpegbench                  # run everything
-//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp|loss
+//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp|loss|e10
 //	mpegbench -edf-full        # EDF experiment at full clip lengths
+//	mpegbench -run e10 -trace trace.json -metrics metrics.json
+//	                           # per-stage breakdown + Perfetto trace dump
+//	mpegbench -run e10 -e10-smoke
+//	                           # CI-sized E10 (short clip, two load levels)
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,8 +26,11 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss")
+	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss|e10")
 	edfFull := flag.Bool("edf-full", false, "run the EDF experiment at full clip lengths (1345/1758 frames)")
+	e10Smoke := flag.Bool("e10-smoke", false, "run E10 at CI size (short clip, loads {0,2})")
+	traceOut := flag.String("trace", "", "write E10's highest-load run as Chrome trace_event JSON to this file")
+	metricsOut := flag.String("metrics", "", "write E10's highest-load metrics JSON (pathtop input) to this file")
 	flag.Parse()
 
 	w := os.Stdout
@@ -77,6 +86,38 @@ func main() {
 
 	run("loss", func() {
 		exp.PrintLoss(w, mpeg.Neptune.Name, exp.RunLoss(mpeg.Neptune))
+	})
+
+	run("e10", func() {
+		cfg := exp.E10Config{}
+		if *e10Smoke {
+			cfg = exp.SmokeE10Config()
+		}
+		rows := exp.RunE10(cfg)
+		exp.PrintE10(w, cfg, rows)
+		if len(rows) == 0 {
+			return
+		}
+		last := rows[len(rows)-1]
+		writeOut := func(path, what string, write func(io.Writer) error) {
+			if path == "" {
+				return
+			}
+			var b bytes.Buffer
+			if err := write(&b); err == nil {
+				err = os.WriteFile(path, b.Bytes(), 0o644)
+				if err == nil {
+					fmt.Fprintf(w, "wrote %s to %s\n", what, path)
+					return
+				}
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			os.Exit(1)
+		}
+		writeOut(*traceOut, "trace_event JSON (load at ui.perfetto.dev)", last.Tracer.WriteTrace)
+		writeOut(*metricsOut, "metrics JSON (view with pathtop)", last.Tracer.WriteMetricsJSON)
 	})
 
 	run("ilp", func() {

@@ -1,0 +1,52 @@
+// pathtop renders the pathtrace metrics JSON (mpegbench -run e10 -metrics,
+// or any pathtrace.Tracer.WriteMetricsJSON dump) as a flat per-path text
+// table: stage CPU attribution, queue waits and depths, interrupt steal,
+// and wire occupancy.
+//
+// Usage:
+//
+//	pathtop metrics.json         # render a file
+//	mpegbench -run e10 -metrics /dev/stdout | pathtop   # or a pipe
+//	pathtop -sort cum metrics.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scout/internal/pathtrace"
+)
+
+func main() {
+	sortBy := flag.String("sort", "self", "stage row order: self|cum|execs")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var doc pathtrace.MetricsDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "pathtop: not a pathtrace metrics document: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Paths) == 0 {
+		fmt.Println("no instrumented paths in input")
+		return
+	}
+	pathtrace.RenderMetrics(os.Stdout, doc, *sortBy)
+}

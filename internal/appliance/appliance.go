@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"time"
 
+	"scout/internal/attr"
 	"scout/internal/core"
 	"scout/internal/display"
 	"scout/internal/netdev"
+	"scout/internal/pathtrace"
 	"scout/internal/proto/arp"
 	"scout/internal/proto/eth"
 	"scout/internal/proto/icmp"
@@ -48,6 +50,12 @@ type Config struct {
 	// RxIRQCost is the per-frame receive-interrupt (classifier) cost;
 	// default 5µs, the paper's §3.6 upper bound for UDP demux.
 	RxIRQCost time.Duration
+
+	// Tracing enables the pathtrace subsystem: paths created with the
+	// PA_TRACE attribute get their stages and queues instrumented, and the
+	// scheduler reports execution spans to Kernel.Tracer. Off by default;
+	// when off, data-path code pays only nil checks.
+	Tracing bool
 }
 
 // DefaultConfig returns a workable single-host configuration.
@@ -77,6 +85,9 @@ type Kernel struct {
 	Link  *netdev.Link
 	FB    *display.Device
 	Graph *core.Graph
+	// Tracer is always non-nil after Boot; it records only when
+	// Config.Tracing was set.
+	Tracer *pathtrace.Tracer
 
 	ETH     *eth.Impl
 	ARP     *arp.Impl
@@ -117,6 +128,15 @@ func Boot(eng *sim.Engine, link *netdev.Link, cfg Config) (*Kernel, error) {
 	k := &Kernel{Cfg: cfg, Eng: eng, Link: link}
 	k.CPU = sched.New(eng)
 	sched.AddDefaultPolicies(k.CPU, cfg.RRLevels, cfg.RRShare, cfg.EDFShare)
+	k.Tracer = pathtrace.New(eng, pathtrace.Options{})
+	if cfg.Tracing {
+		k.Tracer.SetEnabled(true)
+		k.CPU.OnExec = func(_ *sched.Thread, p *core.Path, start, end sim.Time, charged time.Duration) {
+			if p != nil {
+				k.Tracer.ExecSpan(p.PID, "exec", start, end, charged)
+			}
+		}
+	}
 
 	k.Dev = netdev.NewDevice(link, cfg.MAC, k.CPU)
 	k.Dev.RxIRQCost = cfg.RxIRQCost
@@ -181,6 +201,36 @@ func (k *Kernel) CreateVideoPath(a *VideoAttrs) (*core.Path, uint16, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if traced, _ := p.Attrs.Bool(attr.Trace); traced && k.Tracer.Enabled() {
+		label, _ := p.Attrs.String(attr.TraceLabel)
+		k.InstrumentPath(p, label)
+	}
 	lport, _ := p.Attrs.Int(inet.AttrLocalPort)
 	return p, uint16(lport), nil
+}
+
+// InstrumentPath attaches the kernel tracer to p. The generic NetIface
+// stages and the queues are wrapped by pathtrace itself; the DISPLAY stage
+// speaks the video interface type, which pathtrace cannot wrap generically,
+// so this layer — which knows the concrete type — brackets it with
+// StageEnter/StageExit. Must run after CreatePath so the wrappers see the
+// Deliver pointers left by any transformation rules (§3.3).
+func (k *Kernel) InstrumentPath(p *core.Path, label string) {
+	tr := k.Tracer
+	tr.InstrumentPath(p, label)
+	s := p.StageOf("DISPLAY")
+	if s == nil {
+		return
+	}
+	vi, ok := s.End[core.BWD].(*routers.VideoIface)
+	if !ok || vi == nil || vi.DeliverFrame == nil {
+		return
+	}
+	orig := vi.DeliverFrame
+	vi.DeliverFrame = func(i *routers.VideoIface, f *display.Frame) error {
+		tr.StageEnter(p, "DISPLAY", int64(f.Seq))
+		err := orig(i, f)
+		tr.StageExit(p)
+		return err
+	}
 }

@@ -31,6 +31,11 @@ type VideoAttrs struct {
 	// Reliable selects reliable MFLOW: the receiver resequences
 	// out-of-order data and the sender retransmits unacknowledged packets.
 	Reliable bool
+	// Trace opts the path into the pathtrace subsystem (requires a kernel
+	// booted with Config.Tracing).
+	Trace bool
+	// TraceLabel names the path in trace exports (default: path#N string).
+	TraceLabel string
 }
 
 func (v *VideoAttrs) build() *attr.Attrs {
@@ -65,6 +70,12 @@ func (v *VideoAttrs) build() *attr.Attrs {
 	}
 	if v.Reliable {
 		a.Set(attr.MFLOWReliable, true)
+	}
+	if v.Trace {
+		a.Set(attr.Trace, true)
+	}
+	if v.TraceLabel != "" {
+		a.Set(attr.TraceLabel, v.TraceLabel)
 	}
 	return a
 }

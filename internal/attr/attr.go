@@ -74,6 +74,14 @@ const (
 	// resequences out-of-order data and the sender buffers and retransmits
 	// unacknowledged packets. Value: bool.
 	MFLOWReliable Name = "PA_MFLOW_RELIABLE"
+	// Trace opts the path into the pathtrace subsystem: the appliance
+	// instruments its stages and queues after creation, provided the kernel
+	// was booted with tracing enabled. Value: bool.
+	Trace Name = "PA_TRACE"
+	// TraceLabel is the human-readable label the tracer exports for the
+	// path (e.g. the clip name) instead of the synthetic path#N string.
+	// Value: string.
+	TraceLabel Name = "PA_TRACE_LABEL"
 )
 
 // Attrs is a mutable set of name/value pairs. A nil *Attrs behaves like an
@@ -142,6 +150,17 @@ func (a *Attrs) IntDefault(n Name, def int) int {
 		return i
 	}
 	return def
+}
+
+// Bool returns the attribute as a bool. ok is false if the attribute is
+// absent or not a bool.
+func (a *Attrs) Bool(n Name) (bool, bool) {
+	v, ok := a.Get(n)
+	if !ok {
+		return false, false
+	}
+	b, ok := v.(bool)
+	return b, ok
 }
 
 // String returns the attribute as a string.

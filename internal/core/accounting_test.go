@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scout/internal/attr"
+)
+
+// Direct tests for the path resource accounting of §4.4: the memory grant,
+// the per-execution CPU EWMA the deadline/admission machinery reads, and
+// the ChargeExec/TakeExecCost hand-off between stages and the scheduler.
+
+func newAccountingPath(t *testing.T, a *attr.Attrs) *Path {
+	t.Helper()
+	g, r := buildChain(t, nil, nil)
+	p, err := g.CreatePath(r, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestChargeMemoryBoundary(t *testing.T) {
+	p := newAccountingPath(t, attr.New().Set(attr.MemLimit, 4096))
+	base := p.MemoryBytes()
+	if base <= 0 || base > 4096 {
+		t.Fatalf("base footprint %d outside (0, limit]", base)
+	}
+	// Charging exactly up to the limit must succeed; one byte more fails
+	// and must not mutate the account.
+	if err := p.ChargeMemory(4096 - base); err != nil {
+		t.Fatalf("charge to exact limit: %v", err)
+	}
+	if err := p.ChargeMemory(1); !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("over-limit err = %v, want ErrMemLimit", err)
+	}
+	if p.MemoryBytes() != 4096 {
+		t.Fatalf("failed charge mutated the account: %d", p.MemoryBytes())
+	}
+	// Releasing makes room again.
+	if err := p.ChargeMemory(-100); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ChargeMemory(100); err != nil {
+		t.Fatalf("re-charge after release: %v", err)
+	}
+}
+
+func TestChargeMemoryUnlimited(t *testing.T) {
+	p := newAccountingPath(t, nil) // no PA_MEMLIMIT: unlimited
+	if err := p.ChargeMemory(1 << 40); err != nil {
+		t.Fatalf("unlimited path refused charge: %v", err)
+	}
+}
+
+func TestCreatePathRefusedBelowFootprint(t *testing.T) {
+	g, r := buildChain(t, nil, nil)
+	if _, err := g.CreatePath(r, attr.New().Set(attr.MemLimit, 1)); !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("creation under a 1-byte grant: err = %v, want ErrMemLimit", err)
+	}
+}
+
+func TestAddCPUEWMA(t *testing.T) {
+	p := newAccountingPath(t, nil)
+	if p.ExecEWMA() != 0 || p.Executions() != 0 || p.CPUTime() != 0 {
+		t.Fatal("fresh path has non-zero CPU accounting")
+	}
+	// First sample seeds the EWMA directly.
+	p.AddCPU(800 * time.Microsecond)
+	if got := p.ExecEWMA(); got != 800*time.Microsecond {
+		t.Fatalf("after first sample EWMA = %v, want 800µs", got)
+	}
+	// Subsequent samples fold in with alpha = 1/8 (TCP srtt gain):
+	// ewma += (d − ewma)/8.
+	p.AddCPU(1600 * time.Microsecond)
+	if got := p.ExecEWMA(); got != 900*time.Microsecond {
+		t.Fatalf("after second sample EWMA = %v, want 900µs", got)
+	}
+	p.AddCPU(100 * time.Microsecond)
+	if got := p.ExecEWMA(); got != 800*time.Microsecond {
+		t.Fatalf("after third sample EWMA = %v, want 800µs", got)
+	}
+	if p.Executions() != 3 {
+		t.Fatalf("executions = %d, want 3", p.Executions())
+	}
+	if p.CPUTime() != 2500*time.Microsecond {
+		t.Fatalf("total CPU = %v, want 2.5ms", p.CPUTime())
+	}
+}
+
+func TestExecCostHandoff(t *testing.T) {
+	p := newAccountingPath(t, nil)
+	// Stages accumulate cost during a traversal...
+	p.ChargeExec(10 * time.Microsecond)
+	p.ChargeExec(30 * time.Microsecond)
+	// ...observers may read it without consuming it...
+	if got := p.ExecCost(); got != 40*time.Microsecond {
+		t.Fatalf("ExecCost = %v, want 40µs", got)
+	}
+	if got := p.ExecCost(); got != 40*time.Microsecond {
+		t.Fatal("ExecCost must not consume the accumulator")
+	}
+	// ...and the thread body takes it exactly once to report to the
+	// scheduler, which charges it back via AddCPU.
+	taken := p.TakeExecCost()
+	if taken != 40*time.Microsecond {
+		t.Fatalf("TakeExecCost = %v, want 40µs", taken)
+	}
+	if p.ExecCost() != 0 || p.TakeExecCost() != 0 {
+		t.Fatal("take did not reset the accumulator")
+	}
+	p.AddCPU(taken)
+	if p.CPUTime() != 40*time.Microsecond || p.ExecEWMA() != 40*time.Microsecond {
+		t.Fatalf("scheduler charge-back: cpu=%v ewma=%v, want 40µs/40µs", p.CPUTime(), p.ExecEWMA())
+	}
+	// The accumulator is per-execution state, independent of the EWMA.
+	p.ChargeExec(5 * time.Microsecond)
+	if p.ExecCost() != 5*time.Microsecond || p.ExecEWMA() != 40*time.Microsecond {
+		t.Fatal("ChargeExec leaked into the EWMA before AddCPU")
+	}
+}

@@ -123,6 +123,11 @@ func (p *Path) TakeExecCost() time.Duration {
 	return c
 }
 
+// ExecCost reads the execution cost accumulated since the last TakeExecCost
+// without resetting it. The tracing subsystem samples it on stage entry and
+// exit to attribute cost to individual stages.
+func (p *Path) ExecCost() time.Duration { return p.execCost }
+
 // IncomingDir reports the direction a message travels when it enters the
 // path at the stage owned by the named router: BWD if that router
 // contributed the last stage, FWD if the first. Device routers use it to

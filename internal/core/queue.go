@@ -20,6 +20,16 @@ type Queue struct {
 	// Drained, when non-nil, is invoked after a dequeue that empties the
 	// queue.
 	Drained func()
+
+	// Observer hooks, installed by the tracing subsystem when a path is
+	// instrumented. They stay nil on untraced paths, so the hot path pays
+	// only a nil check. OnEnqueue fires after the item is stored (before
+	// NotEmpty), OnDequeue after removal (before Drained); depth is the
+	// queue length after the transition. OnDrop fires for each refused
+	// enqueue.
+	OnEnqueue func(item any, depth int)
+	OnDequeue func(item any, depth int)
+	OnDrop    func(item any)
 }
 
 // NewQueue returns a queue holding at most max items; max must be positive.
@@ -36,11 +46,17 @@ func NewQueue(max int) *Queue {
 func (q *Queue) Enqueue(item any) bool {
 	if q.n == q.max {
 		q.dropped++
+		if q.OnDrop != nil {
+			q.OnDrop(item)
+		}
 		return false
 	}
 	q.items[(q.head+q.n)%q.max] = item
 	q.n++
 	q.enqueued++
+	if q.OnEnqueue != nil {
+		q.OnEnqueue(item, q.n)
+	}
 	if q.n == 1 && q.NotEmpty != nil {
 		q.NotEmpty()
 	}
@@ -56,6 +72,9 @@ func (q *Queue) Dequeue() any {
 	q.items[q.head] = nil
 	q.head = (q.head + 1) % q.max
 	q.n--
+	if q.OnDequeue != nil {
+		q.OnDequeue(item, q.n)
+	}
 	if q.n == 0 && q.Drained != nil {
 		q.Drained()
 	}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// tinyE10 keeps tier-1 runtime small while still crossing every
+// instrumentation point (wire, queues, all six stages, exec spans, flood
+// interrupts).
+func tinyE10() E10Config {
+	return E10Config{Frames: 60, Loads: []int{0, 2}}
+}
+
+func TestE10SmokeBreakdownShape(t *testing.T) {
+	rows := RunE10(tinyE10())
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	unloaded, loaded := rows[0], rows[1]
+	for _, r := range rows {
+		if r.FPS <= 0 {
+			t.Fatalf("load=%d: fps=%v, want > 0", r.Load, r.FPS)
+		}
+		pm := r.Path
+		if pm.PID == 0 {
+			t.Fatalf("load=%d: video path missing from metrics", r.Load)
+		}
+		wantStages := map[string]bool{"ETH": false, "IP": false, "UDP": false, "MFLOW": false, "MPEG": false, "DISPLAY": false}
+		for _, sm := range pm.Stages {
+			if _, ok := wantStages[sm.Stage]; ok && sm.Execs > 0 {
+				wantStages[sm.Stage] = true
+			}
+		}
+		for name, seen := range wantStages {
+			if !seen {
+				t.Errorf("load=%d: stage %s recorded no executions", r.Load, name)
+			}
+		}
+		if in := queueSummary(pm, "in[BWD]"); in.Wait.Count == 0 {
+			t.Errorf("load=%d: input queue recorded no waits", r.Load)
+		}
+		if out := queueSummary(pm, "out[BWD]"); out.Dequeued == 0 {
+			t.Errorf("load=%d: output queue never drained (no frames displayed?)", r.Load)
+		}
+		if pm.Wire.Frames == 0 {
+			t.Errorf("load=%d: no wire spans recorded", r.Load)
+		}
+		if pm.Exec.Execs == 0 {
+			t.Errorf("load=%d: no exec spans recorded", r.Load)
+		}
+		if pm.Exec.ActualNs < pm.Exec.ChargedNs {
+			t.Errorf("load=%d: actual %d < charged %d", r.Load, pm.Exec.ActualNs, pm.Exec.ChargedNs)
+		}
+	}
+	// The flood's receive interrupts steal CPU from the video thread; that
+	// steal is exactly what the breakdown is for.
+	if loaded.Path.Exec.StolenNs <= unloaded.Path.Exec.StolenNs {
+		t.Errorf("flood did not increase irq steal: unloaded=%dns loaded=%dns",
+			unloaded.Path.Exec.StolenNs, loaded.Path.Exec.StolenNs)
+	}
+}
+
+// TestE10ExportsDeterministic is the CI determinism gate at tier-1 scale:
+// two same-seed runs must export byte-identical traces and metrics.
+func TestE10ExportsDeterministic(t *testing.T) {
+	cfg := E10Config{Frames: 40, Loads: []int{2}}
+	runOnce := func() ([]byte, []byte) {
+		rows := RunE10(cfg)
+		var tb, mb bytes.Buffer
+		if err := rows[0].Tracer.WriteTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := rows[0].Tracer.WriteMetricsJSON(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), mb.Bytes()
+	}
+	t1, m1 := runOnce()
+	t2, m2 := runOnce()
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace export differs across same-seed runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics export differs across same-seed runs")
+	}
+	if len(t1) < 100 {
+		t.Fatalf("trace export suspiciously small (%d bytes)", len(t1))
+	}
+}

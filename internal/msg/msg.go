@@ -58,6 +58,16 @@ type Msg struct {
 	// the message entered the system; devices stamp it so latency can be
 	// measured end to end.
 	Arrival int64
+	// Trace is the per-message span identifier assigned by the pathtrace
+	// subsystem the first time the message enters a traced path queue; zero
+	// means untraced.
+	Trace int64
+	// TxStart/TxEnd bracket the link serialization of the frame this view
+	// arrived in (virtual nanoseconds); the sending link stamps them so the
+	// receiver's tracer can emit a wire-occupancy span. Zero when the message
+	// never crossed a link.
+	TxStart int64
+	TxEnd   int64
 	// Tag carries router-specific per-message context (e.g. the MPEG frame
 	// number a packet belongs to). It travels with the view, not the buffer.
 	Tag any
@@ -178,7 +188,8 @@ func (m *Msg) Split(n int) (*Msg, error) {
 	head := &Msg{
 		buf: m.buf, off: m.off, end: m.off + n,
 		refs: m.refs, pool: m.pool,
-		Arrival: m.Arrival, Tag: m.Tag,
+		Arrival: m.Arrival, Trace: m.Trace,
+		TxStart: m.TxStart, TxEnd: m.TxEnd, Tag: m.Tag,
 	}
 	m.refs.Add(1)
 	m.off += n
@@ -193,7 +204,8 @@ func (m *Msg) Clone() *Msg {
 	return &Msg{
 		buf: m.buf, off: m.off, end: m.end,
 		refs: m.refs, pool: m.pool,
-		Arrival: m.Arrival, Tag: m.Tag,
+		Arrival: m.Arrival, Trace: m.Trace,
+		TxStart: m.TxStart, TxEnd: m.TxEnd, Tag: m.Tag,
 	}
 }
 

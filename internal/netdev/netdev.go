@@ -93,6 +93,10 @@ func (l *Link) transmit(src *Device, dst MAC, m *msg.Msg) {
 	}
 	ser := l.serialization(m.Len())
 	l.busyUntil = start.Add(ser)
+	// Stamp the serialization window on the frame so the receiver's tracer
+	// can emit a wire-occupancy span without the link keeping per-frame
+	// state (same pattern as Msg.Arrival).
+	m.TxStart, m.TxEnd = int64(start), int64(l.busyUntil)
 
 	fs := l.matchFaults(src, dst, m)
 	if l.lossRoll(fs) {
@@ -109,7 +113,9 @@ func (l *Link) transmit(src *Device, dst MAC, m *msg.Msg) {
 		fs.stats.Dupped++
 		// The copy occupies the medium like any other frame.
 		l.busyUntil = l.busyUntil.Add(ser)
-		l.schedule(src, dst, m.Clone(), l.busyUntil, fs)
+		c := m.Clone()
+		c.TxStart, c.TxEnd = int64(l.busyUntil.Add(-ser)), int64(l.busyUntil)
+		l.schedule(src, dst, c, l.busyUntil, fs)
 	}
 }
 

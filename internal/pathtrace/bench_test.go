@@ -1,0 +1,78 @@
+package pathtrace_test
+
+import (
+	"testing"
+	"time"
+
+	"scout/internal/core"
+	"scout/internal/msg"
+	"scout/internal/pathtrace"
+	"scout/internal/sim"
+)
+
+// BenchmarkDisabledHotPath measures the data-path choke points with tracing
+// disabled — the configuration every untraced kernel runs in. The
+// acceptance bar is 0 allocs/op: a disabled tracer must cost only nil/flag
+// checks.
+func BenchmarkDisabledHotPath(b *testing.B) {
+	g := core.NewGraph()
+	var next *core.Router
+	a := g.Add("A", &chainImpl{services: []core.ServiceSpec{netSvc("down", true)}, cost: time.Microsecond, next: &next})
+	next = g.Add("B", &chainImpl{services: []core.ServiceSpec{netSvc("up", false)}, cost: time.Microsecond})
+	if err := g.Build(); err != nil {
+		b.Fatal(err)
+	}
+	p, err := g.CreatePath(a, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.New(1)
+	tr := pathtrace.New(eng, pathtrace.Options{}) // disabled
+	tr.InstrumentPath(p, "bench")                 // no-op while disabled
+	q := p.Q[core.QInFWD]
+	m := msg.New(make([]byte, 64))
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(m)
+		q.Dequeue()
+		if err := p.Inject(core.FWD, m); err != nil {
+			b.Fatal(err)
+		}
+		p.TakeExecCost()
+		tr.StageEnter(p, "A", 1)
+		tr.StageExit(p)
+		tr.ExecSpan(p.PID, "exec", 0, 0, 0)
+	}
+}
+
+// BenchmarkEnabledStageSpans measures the traced configuration for the
+// overhead budget documented in DESIGN.md.
+func BenchmarkEnabledStageSpans(b *testing.B) {
+	g := core.NewGraph()
+	var next *core.Router
+	a := g.Add("A", &chainImpl{services: []core.ServiceSpec{netSvc("down", true)}, cost: time.Microsecond, next: &next})
+	next = g.Add("B", &chainImpl{services: []core.ServiceSpec{netSvc("up", false)}, cost: time.Microsecond})
+	if err := g.Build(); err != nil {
+		b.Fatal(err)
+	}
+	p, err := g.CreatePath(a, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.New(1)
+	tr := pathtrace.New(eng, pathtrace.Options{MaxEvents: 1024})
+	tr.SetEnabled(true)
+	tr.InstrumentPath(p, "bench")
+	m := msg.New(make([]byte, 64))
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Inject(core.FWD, m); err != nil {
+			b.Fatal(err)
+		}
+		p.TakeExecCost()
+	}
+}

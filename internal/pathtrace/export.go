@@ -1,0 +1,305 @@
+package pathtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file holds the two exporters: the Chrome/Perfetto trace_event JSON
+// dump (load it at ui.perfetto.dev or chrome://tracing) and the flat metrics
+// document consumed by cmd/pathtop. Both are deterministic byte-for-byte
+// under a fixed seed: paths and stages export in registration order, events
+// in record order, and every map that reaches encoding/json is marshaled
+// with sorted keys by the stdlib.
+
+// --- Chrome trace_event export ---------------------------------------------
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// us converts virtual nanoseconds to the microsecond floats trace_event
+// wants.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+func durPtr(d time.Duration) *float64 {
+	v := us(int64(d))
+	return &v
+}
+
+// WriteTrace dumps all recorded events as Chrome trace_event JSON. Each
+// instrumented path becomes a "process"; row 0 is the scheduler executions,
+// rows 1..n the stages, row n+1 the wire; queue depths export as counter
+// tracks and drops as instant events.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte("{}"))
+		return err
+	}
+	tf := traceFile{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
+	for _, pi := range t.order {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", PID: pi.PID,
+			Args: map[string]any{"name": pi.Label},
+		})
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: pi.PID, TID: 0,
+			Args: map[string]any{"name": "exec"},
+		})
+		for _, sm := range pi.Stages {
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", PID: pi.PID, TID: sm.tid,
+				Args: map[string]any{"name": sm.Stage},
+			})
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: pi.PID, TID: 1 + len(pi.Stages),
+			Args: map[string]any{"name": "wire"},
+		})
+	}
+	for _, ev := range t.events {
+		switch ev.Kind {
+		case KindSpan:
+			args := map[string]any{"self_ns": ev.Arg}
+			if ev.Msg != 0 {
+				args["msg"] = ev.Msg
+			}
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: ev.Name, Cat: "stage", Ph: "X",
+				TS: us(int64(ev.TS)), Dur: durPtr(ev.Dur),
+				PID: ev.PID, TID: ev.TID, Args: args,
+			})
+		case KindExec:
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: ev.Name, Cat: "exec", Ph: "X",
+				TS: us(int64(ev.TS)), Dur: durPtr(ev.Dur),
+				PID: ev.PID, TID: ev.TID,
+				Args: map[string]any{"charged_ns": ev.Arg, "stolen_ns": int64(ev.Dur) - ev.Arg},
+			})
+		case KindWire:
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: ev.Name, Cat: "wire", Ph: "X",
+				TS: us(int64(ev.TS)), Dur: durPtr(ev.Dur),
+				PID: ev.PID, TID: ev.TID,
+				Args: map[string]any{"msg": ev.Msg},
+			})
+		case KindEnqueue, KindDequeue:
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: ev.Name + " depth", Ph: "C",
+				TS: us(int64(ev.TS)), PID: ev.PID,
+				Args: map[string]any{"depth": ev.Arg},
+			})
+		case KindDrop:
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: ev.Name + " drop", Ph: "i", S: "p",
+				TS: us(int64(ev.TS)), PID: ev.PID,
+			})
+		}
+	}
+	b, err := json.Marshal(tf)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// --- Flat metrics document --------------------------------------------------
+
+// MetricsDoc is the machine-readable metrics export; cmd/pathtop renders it.
+type MetricsDoc struct {
+	Paths      []PathMetrics `json:"paths"`
+	EventsLost int64         `json:"eventsLost"`
+}
+
+// PathMetrics is the exportable aggregate of one instrumented path.
+type PathMetrics struct {
+	PID    int64          `json:"pid"`
+	Label  string         `json:"label"`
+	Stages []StageSummary `json:"stages"`
+	Queues []QueueSummary `json:"queues"`
+	Exec   ExecSummary    `json:"exec"`
+	Wire   WireSummary    `json:"wire"`
+}
+
+// StageSummary is one stage row.
+type StageSummary struct {
+	Stage     string `json:"stage"`
+	Execs     int64  `json:"execs"`
+	SelfCPUNs int64  `json:"selfCpuNs"`
+	CumCPUNs  int64  `json:"cumCpuNs"`
+}
+
+// QueueSummary is one queue row.
+type QueueSummary struct {
+	Queue    string      `json:"queue"`
+	Enqueued int64       `json:"enqueued"`
+	Dequeued int64       `json:"dequeued"`
+	Dropped  int64       `json:"dropped"`
+	MaxDepth int         `json:"maxDepth"`
+	Wait     HistSummary `json:"wait"`
+}
+
+// HistSummary condenses a Hist for export.
+type HistSummary struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"meanNs"`
+	P50Ns  int64 `json:"p50Ns"`
+	P95Ns  int64 `json:"p95Ns"`
+	MaxNs  int64 `json:"maxNs"`
+}
+
+// ExecSummary condenses ExecMetrics.
+type ExecSummary struct {
+	Execs     int64 `json:"execs"`
+	ChargedNs int64 `json:"chargedNs"`
+	ActualNs  int64 `json:"actualNs"`
+	StolenNs  int64 `json:"stolenNs"`
+}
+
+// WireSummary condenses WireMetrics.
+type WireSummary struct {
+	Frames    int64 `json:"frames"`
+	AirtimeNs int64 `json:"airtimeNs"`
+}
+
+func summarizeHist(h *Hist) HistSummary {
+	return HistSummary{
+		Count:  h.Count,
+		MeanNs: int64(h.Mean()),
+		P50Ns:  int64(h.Quantile(0.50)),
+		P95Ns:  int64(h.Quantile(0.95)),
+		MaxNs:  int64(h.Max),
+	}
+}
+
+// MetricsDoc snapshots the tracer's aggregates in registration order.
+func (t *Tracer) MetricsDoc() MetricsDoc {
+	doc := MetricsDoc{Paths: []PathMetrics{}}
+	if t == nil {
+		return doc
+	}
+	doc.EventsLost = t.lost
+	for _, pi := range t.order {
+		pm := PathMetrics{
+			PID:    pi.PID,
+			Label:  pi.Label,
+			Stages: []StageSummary{},
+			Queues: []QueueSummary{},
+			Exec: ExecSummary{
+				Execs:     pi.Exec.Execs,
+				ChargedNs: int64(pi.Exec.Charged),
+				ActualNs:  int64(pi.Exec.Actual),
+				StolenNs:  int64(pi.Exec.Steal()),
+			},
+			Wire: WireSummary{Frames: pi.Wire.Frames, AirtimeNs: int64(pi.Wire.Airtime)},
+		}
+		for _, sm := range pi.Stages {
+			pm.Stages = append(pm.Stages, StageSummary{
+				Stage:     sm.Stage,
+				Execs:     sm.Execs,
+				SelfCPUNs: int64(sm.SelfCPU),
+				CumCPUNs:  int64(sm.CumCPU),
+			})
+		}
+		for _, qm := range pi.Queues {
+			if qm == nil {
+				continue
+			}
+			pm.Queues = append(pm.Queues, QueueSummary{
+				Queue:    qm.Queue,
+				Enqueued: qm.Enqueued,
+				Dequeued: qm.Dequeued,
+				Dropped:  qm.Dropped,
+				MaxDepth: qm.MaxDepth,
+				Wait:     summarizeHist(&qm.Wait),
+			})
+		}
+		doc.Paths = append(doc.Paths, pm)
+	}
+	return doc
+}
+
+// WriteMetricsJSON writes the metrics document as JSON (pathtop's input).
+func (t *Tracer) WriteMetricsJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(t.MetricsDoc(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteMetricsTable renders the metrics document as a flat text table.
+func (t *Tracer) WriteMetricsTable(w io.Writer) {
+	RenderMetrics(w, t.MetricsDoc(), "self")
+}
+
+// RenderMetrics renders doc as the text table pathtop shows. sortBy orders
+// stage rows: "self" (default), "cum", or "execs".
+func RenderMetrics(w io.Writer, doc MetricsDoc, sortBy string) {
+	pf := func(format string, a ...any) { _, _ = fmt.Fprintf(w, format, a...) }
+	ns := func(v int64) time.Duration { return time.Duration(v) }
+	for _, pm := range doc.Paths {
+		pf("path#%d %s\n", pm.PID, pm.Label)
+		pf("  exec: %d runs, charged %v, actual %v (irq-steal %v)\n",
+			pm.Exec.Execs, ns(pm.Exec.ChargedNs), ns(pm.Exec.ActualNs), ns(pm.Exec.StolenNs))
+		if pm.Wire.Frames > 0 {
+			pf("  wire: %d frames, %v airtime\n", pm.Wire.Frames, ns(pm.Wire.AirtimeNs))
+		}
+		stages := append([]StageSummary(nil), pm.Stages...)
+		switch sortBy {
+		case "cum":
+			sort.SliceStable(stages, func(i, j int) bool { return stages[i].CumCPUNs > stages[j].CumCPUNs })
+		case "execs":
+			sort.SliceStable(stages, func(i, j int) bool { return stages[i].Execs > stages[j].Execs })
+		case "self":
+			sort.SliceStable(stages, func(i, j int) bool { return stages[i].SelfCPUNs > stages[j].SelfCPUNs })
+		}
+		var totalSelf int64
+		for _, sm := range stages {
+			totalSelf += sm.SelfCPUNs
+		}
+		pf("  %-10s %8s %12s %12s %7s\n", "STAGE", "EXECS", "SELF/EXEC", "CUM/EXEC", "SHARE")
+		for _, sm := range stages {
+			var selfPer, cumPer time.Duration
+			if sm.Execs > 0 {
+				selfPer = ns(sm.SelfCPUNs / sm.Execs)
+				cumPer = ns(sm.CumCPUNs / sm.Execs)
+			}
+			share := 0.0
+			if totalSelf > 0 {
+				share = 100 * float64(sm.SelfCPUNs) / float64(totalSelf)
+			}
+			pf("  %-10s %8d %12v %12v %6.1f%%\n", sm.Stage, sm.Execs, selfPer, cumPer, share)
+		}
+		pf("  %-10s %8s %8s %6s %6s %10s %10s %10s\n",
+			"QUEUE", "ENQ", "DEQ", "DROP", "DEPTH", "WAIT-P50", "WAIT-P95", "WAIT-MAX")
+		for _, qm := range pm.Queues {
+			pf("  %-10s %8d %8d %6d %6d %10v %10v %10v\n",
+				qm.Queue, qm.Enqueued, qm.Dequeued, qm.Dropped, qm.MaxDepth,
+				ns(qm.Wait.P50Ns), ns(qm.Wait.P95Ns), ns(qm.Wait.MaxNs))
+		}
+		pf("\n")
+	}
+	if doc.EventsLost > 0 {
+		pf("(%d events lost to the buffer cap; metrics above are complete)\n", doc.EventsLost)
+	}
+}

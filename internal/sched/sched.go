@@ -205,9 +205,19 @@ type Sched struct {
 	completion *sim.Event
 	completeAt sim.Time
 	onComplete func()
+	curStart   sim.Time
+	curCharged time.Duration
 
 	fifoSeq int64
 	stats   Stats
+
+	// OnExec, when non-nil, is invoked as each thread execution retires,
+	// with the dispatch time, the actual completion time (including any CPU
+	// stolen by interrupt handlers that arrived during the execution), and
+	// the CPU that was charged to the thread. The tracing subsystem uses the
+	// actual-minus-charged gap to attribute interrupt steal to paths. Bare
+	// interrupt-only busy periods (no current thread) do not fire it.
+	OnExec func(t *Thread, p *core.Path, start, end sim.Time, charged time.Duration)
 }
 
 // New returns a scheduler driven by eng.
@@ -298,6 +308,8 @@ func (s *Sched) maybeDispatch() {
 	if t.path != nil {
 		t.path.AddCPU(cpu)
 	}
+	s.curStart = s.eng.Now()
+	s.curCharged = cpu
 	s.completeAt = s.eng.Now().Add(cpu)
 	s.onComplete = complete
 	s.completion = s.eng.At(s.completeAt, s.finishCurrent)
@@ -308,13 +320,18 @@ func (s *Sched) maybeDispatch() {
 func (s *Sched) finishCurrent() {
 	t := s.current
 	done := s.onComplete
+	start, charged := s.curStart, s.curCharged
 	s.busy = false
 	s.current = nil
 	s.completion = nil
 	s.onComplete = nil
+	s.curCharged = 0
 
 	if t != nil {
 		t.state = Sleeping
+		if s.OnExec != nil {
+			s.OnExec(t, t.path, start, s.eng.Now(), charged)
+		}
 	}
 	if done != nil {
 		done()
