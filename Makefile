@@ -9,7 +9,7 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCHOUT ?= BENCH_pr3.json
 
-.PHONY: check build vet test race lint bench tracegate
+.PHONY: check build vet test race lint bench tracegate chaosgate
 
 check: build vet test race lint
 
@@ -43,4 +43,16 @@ tracegate:
 	$(GO) run ./cmd/mpegbench -run e10 -e10-smoke -trace $$dir/b.json -metrics $$dir/bm.json >/dev/null && \
 	cmp $$dir/a.json $$dir/b.json && cmp $$dir/am.json $$dir/bm.json && \
 	echo "tracegate: E10 exports byte-identical across same-seed runs"; \
+	rc=$$?; rm -rf $$dir; exit $$rc
+
+# chaosgate is the overload-survival gate: the seeded chaos suite (fault
+# plane, watchdog, degradation, lifecycle audits) must be race-clean, and two
+# same-seed E11 smoke runs must print byte-identical reports.
+chaosgate:
+	$(GO) test -race ./internal/chaos ./internal/exp -run 'Chaos|E11|Inflate|Stall|Squeeze|Poison|Audit|Destroy'
+	@dir=$$(mktemp -d) && \
+	$(GO) run ./cmd/mpegbench -run overload -overload-smoke | grep -v wall-clock > $$dir/a.txt && \
+	$(GO) run ./cmd/mpegbench -run overload -overload-smoke | grep -v wall-clock > $$dir/b.txt && \
+	cmp $$dir/a.txt $$dir/b.txt && \
+	echo "chaosgate: E11 overload report byte-identical across same-seed runs"; \
 	rc=$$?; rm -rf $$dir; exit $$rc

@@ -5,12 +5,14 @@
 // Usage:
 //
 //	mpegbench                  # run everything
-//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp|loss|e10
+//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload
 //	mpegbench -edf-full        # EDF experiment at full clip lengths
 //	mpegbench -run e10 -trace trace.json -metrics metrics.json
 //	                           # per-stage breakdown + Perfetto trace dump
 //	mpegbench -run e10 -e10-smoke
 //	                           # CI-sized E10 (short clip, two load levels)
+//	mpegbench -run overload -overload-smoke
+//	                           # CI-sized E11 (short clip, one overcommit)
 package main
 
 import (
@@ -26,9 +28,10 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss|e10")
+	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload")
 	edfFull := flag.Bool("edf-full", false, "run the EDF experiment at full clip lengths (1345/1758 frames)")
 	e10Smoke := flag.Bool("e10-smoke", false, "run E10 at CI size (short clip, loads {0,2})")
+	overloadSmoke := flag.Bool("overload-smoke", false, "run E11 at CI size (short clip, overcommit {1.5})")
 	traceOut := flag.String("trace", "", "write E10's highest-load run as Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics", "", "write E10's highest-load metrics JSON (pathtop input) to this file")
 	flag.Parse()
@@ -118,6 +121,14 @@ func main() {
 		}
 		writeOut(*traceOut, "trace_event JSON (load at ui.perfetto.dev)", last.Tracer.WriteTrace)
 		writeOut(*metricsOut, "metrics JSON (view with pathtop)", last.Tracer.WriteMetricsJSON)
+	})
+
+	run("overload", func() {
+		cfg := exp.E11Config{}
+		if *overloadSmoke {
+			cfg = exp.SmokeOverloadConfig()
+		}
+		exp.PrintE11(w, exp.RunE11(cfg))
 	})
 
 	run("ilp", func() {

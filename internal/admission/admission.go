@@ -11,19 +11,30 @@ package admission
 import (
 	"errors"
 	"math"
+	"sort"
 	"time"
 )
 
 // Model is an online least-squares fit of decode CPU time against frame
-// size in bits.
+// size in bits. The fit is guarded against poisoning: non-finite or
+// negative observations are rejected (and counted), and every derived
+// quantity is clamped to a finite, physically sensible value — the model
+// feeds admission and revocation decisions, so a single NaN must not turn
+// into an unbounded grant or a spurious mass revocation.
 type Model struct {
 	n                     float64
 	sx, sy, sxx, sxy, syy float64
+	rejected              int64
 }
 
 // Observe folds one (frame bits, decode CPU) measurement into the fit.
+// Observations with non-finite or negative bits or CPU are rejected.
 func (m *Model) Observe(bits float64, cpu time.Duration) {
 	y := float64(cpu)
+	if !finite(bits) || !finite(y) || bits < 0 || y < 0 {
+		m.rejected++
+		return
+	}
 	m.n++
 	m.sx += bits
 	m.sy += y
@@ -32,52 +43,91 @@ func (m *Model) Observe(bits float64, cpu time.Duration) {
 	m.syy += y * y
 }
 
-// N reports the number of observations.
+// N reports the number of accepted observations.
 func (m *Model) N() int { return int(m.n) }
 
-// Slope reports nanoseconds of CPU per bit.
-func (m *Model) Slope() float64 {
-	d := m.n*m.sxx - m.sx*m.sx
-	if d == 0 {
-		return 0
-	}
-	return (m.n*m.sxy - m.sx*m.sy) / d
+// Rejected reports observations refused by the poisoning guards.
+func (m *Model) Rejected() int64 { return m.rejected }
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
-// Intercept reports the fixed per-frame CPU in nanoseconds.
+// Slope reports nanoseconds of CPU per bit. Degenerate fits — no
+// observations, a single observation, colinear x values — report 0 rather
+// than dividing by a vanishing determinant.
+func (m *Model) Slope() float64 {
+	d := m.n*m.sxx - m.sx*m.sx
+	if d <= 0 || !finite(d) {
+		return 0
+	}
+	s := (m.n*m.sxy - m.sx*m.sy) / d
+	if !finite(s) {
+		return 0
+	}
+	return s
+}
+
+// Intercept reports the fixed per-frame CPU in nanoseconds (the mean
+// observed CPU when the slope is degenerate).
 func (m *Model) Intercept() float64 {
 	if m.n == 0 {
 		return 0
 	}
-	return (m.sy - m.Slope()*m.sx) / m.n
+	i := (m.sy - m.Slope()*m.sx) / m.n
+	if !finite(i) {
+		return 0
+	}
+	return i
 }
 
 // R2 reports the squared correlation coefficient of the fit.
 func (m *Model) R2() float64 {
 	dx := m.n*m.sxx - m.sx*m.sx
 	dy := m.n*m.syy - m.sy*m.sy
-	if dx <= 0 || dy <= 0 {
+	if dx <= 0 || dy <= 0 || !finite(dx) || !finite(dy) {
 		return 0
 	}
 	cov := m.n*m.sxy - m.sx*m.sy
 	return cov * cov / (dx * dy)
 }
 
-// Predict estimates the CPU time to decode a frame of the given size.
+// Predict estimates the CPU time to decode a frame of the given size,
+// clamped to a non-negative finite duration.
 func (m *Model) Predict(bits float64) time.Duration {
-	return time.Duration(m.Intercept() + m.Slope()*bits)
+	v := m.Intercept() + m.Slope()*bits
+	if !finite(v) || v < 0 {
+		return 0
+	}
+	if v > float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(v)
 }
 
 // Errors returned by the controller.
 var (
-	ErrCPU = errors.New("admission: CPU budget exhausted")
-	ErrMem = errors.New("admission: memory budget exhausted")
+	ErrCPU     = errors.New("admission: CPU budget exhausted")
+	ErrMem     = errors.New("admission: memory budget exhausted")
+	ErrRevoked = errors.New("admission: grant revoked (system overcommitted)")
 )
 
 // Grant is an admitted reservation.
 type Grant struct {
 	CPU float64 // fraction of the CPU
 	Mem int64   // bytes
+}
+
+// grantInfo is the controller's full per-grant record: the reservation plus
+// what it was computed from (so Reassess can recompute demand under the
+// current model), the grant's value to the revocation policy, and the
+// revocation callback.
+type grantInfo struct {
+	g        Grant
+	fps      int
+	avgBits  float64
+	value    float64
+	onRevoke func(id int64)
 }
 
 // Controller tracks commitments against fixed budgets.
@@ -91,8 +141,9 @@ type Controller struct {
 
 	cpuUsed float64
 	memUsed int64
-	grants  map[int64]Grant
+	grants  map[int64]*grantInfo
 	nextID  int64
+	revoked int64
 }
 
 // NewController returns a controller with the given budgets.
@@ -101,8 +152,22 @@ func NewController(cpuBudget float64, memBudget int64) *Controller {
 		CPUBudget: cpuBudget,
 		MemBudget: memBudget,
 		Model:     &Model{},
-		grants:    make(map[int64]Grant),
+		grants:    make(map[int64]*grantInfo),
 	}
+}
+
+// EstimateCPU predicts the CPU fraction a video of the given frame rate and
+// average frame size demands under the current model, clamped non-negative
+// and finite even when the model has been poisoned.
+func (c *Controller) EstimateCPU(fps int, avgBits float64) float64 {
+	if fps <= 0 {
+		return 0
+	}
+	cpu := float64(c.Model.Predict(avgBits)) * float64(fps) / float64(time.Second)
+	if !finite(cpu) || cpu < 0 {
+		return 0
+	}
+	return cpu
 }
 
 // AdmitVideo decides whether a video of the given frame rate and average
@@ -110,8 +175,7 @@ func NewController(cpuBudget float64, memBudget int64) *Controller {
 // may consume (to be passed as the PA_MEMLIMIT attribute so path creation
 // aborts if any router oversteps it).
 func (c *Controller) AdmitVideo(fps int, avgBits float64, memNeed int64) (id int64, g Grant, err error) {
-	perFrame := c.Model.Predict(avgBits)
-	cpu := float64(perFrame) * float64(fps) / float64(time.Second)
+	cpu := c.EstimateCPU(fps, avgBits)
 	if c.cpuUsed+cpu > c.CPUBudget {
 		return 0, Grant{}, ErrCPU
 	}
@@ -122,22 +186,98 @@ func (c *Controller) AdmitVideo(fps int, avgBits float64, memNeed int64) (id int
 	c.memUsed += memNeed
 	c.nextID++
 	g = Grant{CPU: cpu, Mem: memNeed}
-	c.grants[c.nextID] = g
+	c.grants[c.nextID] = &grantInfo{g: g, fps: fps, avgBits: avgBits}
 	return c.nextID, g, nil
+}
+
+// SetGrantValue assigns the grant's value to the revocation policy; when the
+// system is overcommitted, lower-valued grants are revoked first. Grants
+// default to value 0.
+func (c *Controller) SetGrantValue(id int64, value float64) {
+	if gi, ok := c.grants[id]; ok {
+		gi.value = value
+	}
+}
+
+// OnRevoke registers fn to run if the controller revokes the grant; path
+// owners use it to degrade or tear the path down.
+func (c *Controller) OnRevoke(id int64, fn func(id int64)) {
+	if gi, ok := c.grants[id]; ok {
+		gi.onRevoke = fn
+	}
 }
 
 // Release returns a grant's resources.
 func (c *Controller) Release(id int64) {
-	g, ok := c.grants[id]
+	gi, ok := c.grants[id]
 	if !ok {
 		return
 	}
 	delete(c.grants, id)
-	c.cpuUsed -= g.CPU
-	c.memUsed -= g.Mem
+	c.cpuUsed -= gi.g.CPU
+	c.memUsed -= gi.g.Mem
 	if c.cpuUsed < 1e-12 {
 		c.cpuUsed = 0
 	}
+}
+
+// Revoked reports how many grants the controller has revoked.
+func (c *Controller) Revoked() int64 { return c.revoked }
+
+// Reassess re-prices every grant under the current (refit) model and, if
+// the total demand exceeds the CPU budget, revokes grants — lowest value
+// first, newest first among equals — until what remains fits. Surviving
+// grants keep their (repriced) reservations. This is §4.4's degradation
+// escape hatch made explicit: when the online fit says the system is
+// overcommitted, a chosen few paths are torn down rather than letting every
+// path miss its deadlines. Revocation callbacks run after the accounting is
+// settled, in revocation order; revoked ids are returned.
+func (c *Controller) Reassess() (revoked []int64) {
+	type priced struct {
+		id  int64
+		gi  *grantInfo
+		cpu float64
+	}
+	all := make([]priced, 0, len(c.grants))
+	total := 0.0
+	for id, gi := range c.grants {
+		cpu := c.EstimateCPU(gi.fps, gi.avgBits)
+		all = append(all, priced{id, gi, cpu})
+		total += cpu
+	}
+	// Deterministic victim order regardless of map iteration: lowest value
+	// first, then newest (highest id) first.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].gi.value != all[j].gi.value {
+			return all[i].gi.value < all[j].gi.value
+		}
+		return all[i].id > all[j].id
+	})
+	var callbacks []func(int64)
+	for _, p := range all {
+		if total <= c.CPUBudget {
+			break
+		}
+		delete(c.grants, p.id)
+		c.memUsed -= p.gi.g.Mem
+		total -= p.cpu
+		c.revoked++
+		revoked = append(revoked, p.id)
+		if p.gi.onRevoke != nil {
+			callbacks = append(callbacks, p.gi.onRevoke)
+		}
+	}
+	// Survivors carry the repriced reservations.
+	c.cpuUsed = 0
+	for _, gi := range c.grants {
+		cpu := c.EstimateCPU(gi.fps, gi.avgBits)
+		gi.g.CPU = cpu
+		c.cpuUsed += cpu
+	}
+	for i, fn := range callbacks {
+		fn(revoked[i])
+	}
+	return revoked
 }
 
 // Utilization reports the committed CPU fraction and memory bytes.

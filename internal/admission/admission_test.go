@@ -1,6 +1,8 @@
 package admission
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -149,5 +151,153 @@ func TestPropertyBudgetInvariant(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestModelSinglePointDegenerate(t *testing.T) {
+	m := &Model{}
+	m.Observe(20000, 5*time.Millisecond)
+	if m.Slope() != 0 {
+		t.Fatalf("single-point slope = %v, want 0 (determinant vanishes)", m.Slope())
+	}
+	if got := m.Intercept(); got != float64(5*time.Millisecond) {
+		t.Fatalf("single-point intercept = %v, want the observed CPU", got)
+	}
+	if got := m.Predict(40000); got != 5*time.Millisecond {
+		t.Fatalf("single-point predict = %v, want the mean", got)
+	}
+}
+
+func TestModelColinearX(t *testing.T) {
+	// Every frame the same size: no x variance, the fit must fall back to
+	// the mean rather than divide by a zero determinant.
+	m := &Model{}
+	for i := 1; i <= 10; i++ {
+		m.Observe(20000, time.Duration(i)*time.Millisecond)
+	}
+	if m.Slope() != 0 || m.R2() != 0 {
+		t.Fatalf("colinear slope=%v r2=%v, want 0/0", m.Slope(), m.R2())
+	}
+	want := time.Duration(5500 * time.Microsecond) // mean of 1..10 ms
+	if got := m.Predict(20000); got != want {
+		t.Fatalf("colinear predict = %v, want mean %v", got, want)
+	}
+}
+
+func TestModelRejectsNonFinite(t *testing.T) {
+	m := &Model{}
+	m.Observe(20000, 5*time.Millisecond) // one good point
+	bad := []struct {
+		bits float64
+		cpu  time.Duration
+	}{
+		{math.NaN(), time.Millisecond},
+		{math.Inf(1), time.Millisecond},
+		{math.Inf(-1), time.Millisecond},
+		{-1, time.Millisecond},
+		{1000, -time.Millisecond},
+	}
+	for _, b := range bad {
+		m.Observe(b.bits, b.cpu)
+	}
+	if m.N() != 1 {
+		t.Fatalf("N = %d after poison, want 1 (only the good point)", m.N())
+	}
+	if m.Rejected() != int64(len(bad)) {
+		t.Fatalf("Rejected = %d, want %d", m.Rejected(), len(bad))
+	}
+	if s := m.Slope(); math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Fatalf("slope poisoned: %v", s)
+	}
+}
+
+func TestEstimateCPUPoisonedModelClamped(t *testing.T) {
+	c := NewController(0.9, 1<<20)
+	// Adversarial but finite observations: a tiny frame that "took" forever
+	// biases the intercept enormously; the estimate must stay finite and
+	// non-negative, never turning into an unbounded or negative grant.
+	for i := 0; i < 50; i++ {
+		c.Model.Observe(1, 10*time.Second)
+		c.Model.Observe(1e12, time.Nanosecond)
+	}
+	for _, fps := range []int{0, -5, 30} {
+		got := c.EstimateCPU(fps, 20000)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Fatalf("EstimateCPU(fps=%d) = %v under poisoned model", fps, got)
+		}
+	}
+	if got := c.EstimateCPU(30, math.NaN()); got != 0 {
+		t.Fatalf("EstimateCPU(NaN bits) = %v, want 0", got)
+	}
+}
+
+func TestReassessRevokesLowestValueDeterministically(t *testing.T) {
+	run := func() (revoked []int64, survivors int) {
+		c := newFittedController()
+		ids := make([]int64, 0, 3)
+		for i := 0; i < 3; i++ {
+			id, _, err := c.AdmitVideo(20, 30000, 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		c.SetGrantValue(ids[0], 3) // oldest, most valuable
+		c.SetGrantValue(ids[1], 1)
+		c.SetGrantValue(ids[2], 1) // ties with [1]; newest loses first
+		// Refit: the same frames now "cost" 4x. Demand overflows the budget.
+		c.Model = &Model{}
+		for bits := 1000.0; bits <= 60000; bits += 1000 {
+			c.Model.Observe(bits, time.Duration(1200*bits))
+		}
+		revoked = c.Reassess()
+		return revoked, len(ids) - len(revoked)
+	}
+	r1, s1 := run()
+	r2, _ := run()
+	if len(r1) == 0 {
+		t.Fatal("overcommit did not revoke")
+	}
+	if fmt.Sprint(r1) != fmt.Sprint(r2) {
+		t.Fatalf("revocation order not deterministic: %v vs %v", r1, r2)
+	}
+	// Victims are the low-value grants, newest first among the tie.
+	if r1[0] != 3 || (len(r1) > 1 && r1[1] != 2) {
+		t.Fatalf("revoked %v, want newest low-value grant (3) first, then 2", r1)
+	}
+	if s1 == 0 {
+		t.Fatal("every grant revoked; the high-value grant should survive")
+	}
+}
+
+func TestReassessRunsRevokeCallbacks(t *testing.T) {
+	c := newFittedController()
+	id1, _, err := c.AdmitVideo(20, 30000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _, err := c.AdmitVideo(20, 30000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetGrantValue(id1, 2)
+	c.SetGrantValue(id2, 1)
+	var called []int64
+	c.OnRevoke(id1, func(id int64) { called = append(called, id) })
+	c.OnRevoke(id2, func(id int64) { called = append(called, id) })
+	c.Model = &Model{}
+	for bits := 1000.0; bits <= 60000; bits += 1000 {
+		c.Model.Observe(bits, time.Duration(3000*bits)) // 10x the cost
+	}
+	revoked := c.Reassess()
+	if fmt.Sprint(called) != fmt.Sprint(revoked) {
+		t.Fatalf("callbacks %v != revoked ids %v", called, revoked)
+	}
+	if c.Revoked() != int64(len(revoked)) {
+		t.Fatalf("Revoked() = %d, want %d", c.Revoked(), len(revoked))
+	}
+	cpu, _ := c.Utilization()
+	if cpu > c.CPUBudget {
+		t.Fatalf("post-reassess utilization %v exceeds budget %v", cpu, c.CPUBudget)
 	}
 }

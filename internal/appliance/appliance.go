@@ -56,6 +56,11 @@ type Config struct {
 	// scheduler reports execution spans to Kernel.Tracer. Off by default;
 	// when off, data-path code pays only nil checks.
 	Tracing bool
+
+	// StarveAfter is the watchdog's runnable-to-dispatch latency beyond
+	// which a thread without a deadline counts as starving (default 50ms;
+	// < 0 disables starvation detection).
+	StarveAfter time.Duration
 }
 
 // DefaultConfig returns a workable single-host configuration.
@@ -88,6 +93,13 @@ type Kernel struct {
 	// Tracer is always non-nil after Boot; it records only when
 	// Config.Tracing was set.
 	Tracer *pathtrace.Tracer
+
+	// Watch is the scheduler watchdog, always attached: deadline misses and
+	// starvation are counted (and routed to per-path degradation callbacks)
+	// whether or not anyone is looking — detection is two nil checks per
+	// execution, and overload is exactly when nobody remembered to enable
+	// monitoring.
+	Watch *sched.Watchdog
 
 	ETH     *eth.Impl
 	ARP     *arp.Impl
@@ -125,9 +137,18 @@ func Boot(eng *sim.Engine, link *netdev.Link, cfg Config) (*Kernel, error) {
 		cfg.RxIRQCost = 5 * time.Microsecond
 	}
 
+	if cfg.StarveAfter == 0 {
+		cfg.StarveAfter = 50 * time.Millisecond
+	}
+
 	k := &Kernel{Cfg: cfg, Eng: eng, Link: link}
 	k.CPU = sched.New(eng)
 	sched.AddDefaultPolicies(k.CPU, cfg.RRLevels, cfg.RRShare, cfg.EDFShare)
+	starve := cfg.StarveAfter
+	if starve < 0 {
+		starve = 0
+	}
+	k.Watch = sched.NewWatchdog(k.CPU, starve)
 	k.Tracer = pathtrace.New(eng, pathtrace.Options{})
 	if cfg.Tracing {
 		k.Tracer.SetEnabled(true)
@@ -205,8 +226,19 @@ func (k *Kernel) CreateVideoPath(a *VideoAttrs) (*core.Path, uint16, error) {
 		label, _ := p.Attrs.String(attr.TraceLabel)
 		k.InstrumentPath(p, label)
 	}
+	if deg, _ := p.Attrs.Bool(attr.Degrade); deg {
+		routers.AttachDegrader(k.Eng, p, routers.DegradeConfig{
+			GOP: p.Attrs.IntDefault(attr.MPEGGOP, 15),
+		})
+	}
 	lport, _ := p.Attrs.Int(inet.AttrLocalPort)
 	return p, uint16(lport), nil
+}
+
+// Degrader returns the degradation controller attached to p via the
+// PA_DEGRADE attribute, or nil.
+func (k *Kernel) Degrader(p *core.Path) *routers.VideoDegrader {
+	return routers.DegraderOf(p)
 }
 
 // InstrumentPath attaches the kernel tracer to p. The generic NetIface

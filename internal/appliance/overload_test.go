@@ -1,0 +1,125 @@
+package appliance
+
+import (
+	"testing"
+	"time"
+
+	"scout/internal/chaos"
+	"scout/internal/core"
+	"scout/internal/host"
+	"scout/internal/mpeg"
+	"scout/internal/netdev"
+	"scout/internal/proto/inet"
+	"scout/internal/routers"
+	"scout/internal/sim"
+)
+
+// overloadClip is long enough for the degradation control loop to act.
+var overloadClip = mpeg.ClipSpec{
+	Name: "OL", Frames: 150, W: 64, H: 48, FPS: 30, GOP: 15,
+	AvgPBits: 20000, Jitter: 0.3,
+	Scene: mpeg.SceneConfig{W: 64, H: 48, Detail: 0.4, Motion: 1, Objects: 1, Seed: 42},
+}
+
+// streamOverload boots a kernel with a degrading video path, a chaos CPU
+// inflation over [1s, 3s), and a source in the given mode.
+func streamOverload(t *testing.T, live bool) (*Kernel, *core.Path, *host.Source, *sim.Engine) {
+	t.Helper()
+	eng, k, h := bootPair(t, netdev.LinkConfig{}, DefaultConfig())
+	p, lport, err := k.CreateVideoPath(&VideoAttrs{
+		Source:    inet.Participants{RemoteAddr: peerAddr, RemotePort: 7000},
+		FPS:       overloadClip.FPS,
+		Frames:    overloadClip.Frames,
+		CostModel: true,
+		QueueLen:  32,
+		Degrade:   true,
+		GOP:       overloadClip.GOP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := host.NewSource(h, host.SourceConfig{
+		Clip: overloadClip, SrcPort: 7000, CostOnly: true, Seed: 5,
+		Live: live, Backpressure: !live,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.At(0, func() { src.Start(k.Cfg.Addr, lport) })
+	inj := chaos.New(eng)
+	// The cost model charges 300ns/bit (~6ms per 20kbit P frame, ~0.2
+	// utilization at 30fps): 10x pushes the stage to ~2x overcommit.
+	if !inj.InflateStageCPU(p, "MPEG", 10, sim.Time(time.Second), sim.Time(3*time.Second)) {
+		t.Fatal("chaos could not attach to the MPEG stage")
+	}
+	return k, p, src, eng
+}
+
+func TestDegraderShedsOnlyTailPFramesUnderOverload(t *testing.T) {
+	k, p, src, eng := streamOverload(t, true)
+	eng.RunUntil(sim.Time(10 * time.Second))
+	if done, _ := src.Done(); !done {
+		t.Fatalf("live source stalled: sent %d/%d", src.PacketsSent, src.NumPackets())
+	}
+	d := k.Degrader(p)
+	if d == nil {
+		t.Fatal("no degrader attached")
+	}
+	if d.ShedP == 0 {
+		t.Fatal("overload ramp shed nothing — the ladder never engaged")
+	}
+	if d.ShedI != 0 {
+		t.Fatalf("ShedI = %d; I frames must never be shed", d.ShedI)
+	}
+	// The ladder (or its queue reflex) must beat the indiscriminate tail
+	// drop: every packet the filter admits fits the input queue.
+	if drops := p.Q[core.QInBWD].Dropped(); drops != 0 {
+		t.Fatalf("input queue tail-dropped %d packets despite the ladder", drops)
+	}
+	if d.Level() != 0 {
+		t.Fatalf("level = %d after the overload window closed, want relaxed to 0", d.Level())
+	}
+	if vs := chaos.AuditPath(p); len(vs) != 0 {
+		t.Fatalf("audit violations: %v", vs)
+	}
+}
+
+func TestShedRunsDoNotStallBackpressureWindow(t *testing.T) {
+	// Regression for the shed-hole window stall: early-discarded packets
+	// never reach the MFLOW stage, so without NoteShed the advertised
+	// window freezes behind a shed run and a backpressure source can only
+	// crawl on persist probes. With it, the source must finish the whole
+	// clip with modest stretch.
+	_, p, src, eng := streamOverload(t, false)
+	clipDur := time.Duration(overloadClip.Frames) * time.Second / time.Duration(overloadClip.FPS)
+	eng.RunUntil(sim.Time(clipDur + 15*time.Second))
+	done, at := src.Done()
+	if !done {
+		t.Fatalf("backpressure source stalled behind shed run: sent %d/%d, probes=%d",
+			src.PacketsSent, src.NumPackets(), src.Probes)
+	}
+	// 5s clip, 2s of 4x overload: generous bound well under probe pace.
+	if at > sim.Time(clipDur+10*time.Second) {
+		t.Fatalf("stream finished at %v — probe-paced, window not advancing", at)
+	}
+	if vs := chaos.AuditPath(p); len(vs) != 0 {
+		t.Fatalf("audit violations: %v", vs)
+	}
+}
+
+func TestDegraderDetachesOnDestroy(t *testing.T) {
+	k, p, _, eng := streamOverload(t, true)
+	eng.RunUntil(sim.Time(2 * time.Second)) // mid-overload
+	if routers.DegraderOf(p) == nil {
+		t.Fatal("no degrader before destroy")
+	}
+	p.Destroy()
+	if routers.DegraderOf(p) != nil {
+		t.Fatal("degrader still registered after destroy")
+	}
+	if vs := chaos.AuditPath(p); len(vs) != 0 {
+		t.Fatalf("audit violations after destroy: %v", vs)
+	}
+	_ = k
+	eng.RunFor(time.Second) // any stray degrader tick would panic/mutate
+}

@@ -31,6 +31,13 @@ type VideoAttrs struct {
 	// Reliable selects reliable MFLOW: the receiver resequences
 	// out-of-order data and the sender retransmits unacknowledged packets.
 	Reliable bool
+	// Degrade opts the path into graceful overload degradation: a
+	// routers.VideoDegrader is attached after creation, reacting to
+	// watchdog deadline misses by shedding late-GOP P frames (never I).
+	Degrade bool
+	// GOP is the clip's group-of-pictures length for the degradation
+	// ladder (0 = 15).
+	GOP int
 	// Trace opts the path into the pathtrace subsystem (requires a kernel
 	// booted with Config.Tracing).
 	Trace bool
@@ -70,6 +77,12 @@ func (v *VideoAttrs) build() *attr.Attrs {
 	}
 	if v.Reliable {
 		a.Set(attr.MFLOWReliable, true)
+	}
+	if v.Degrade {
+		a.Set(attr.Degrade, true)
+		if v.GOP > 0 {
+			a.Set(attr.MPEGGOP, v.GOP)
+		}
 	}
 	if v.Trace {
 		a.Set(attr.Trace, true)

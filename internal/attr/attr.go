@@ -82,6 +82,14 @@ const (
 	// path (e.g. the clip name) instead of the synthetic path#N string.
 	// Value: string.
 	TraceLabel Name = "PA_TRACE_LABEL"
+	// Degrade opts the path into graceful overload degradation: the
+	// appliance attaches a degradation controller that reacts to watchdog
+	// deadline-miss signals by shedding late-GOP P frames (never I frames)
+	// and throttling the source window. Value: bool.
+	Degrade Name = "PA_DEGRADE"
+	// MPEGGOP is the clip's group-of-pictures length, which the degradation
+	// ladder needs to rank P frames by GOP position. Value: int (default 15).
+	MPEGGOP Name = "PA_MPEG_GOP"
 )
 
 // Attrs is a mutable set of name/value pairs. A nil *Attrs behaves like an

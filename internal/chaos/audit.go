@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"fmt"
+
+	"scout/internal/core"
+	"scout/internal/fbuf"
+)
+
+// The audit half of the fault plane: conservation invariants that must hold
+// no matter what the injector did. Chaos tests run every fault scenario and
+// then audit — a fault that merely degrades service is survivable, a fault
+// that breaks accounting (a leaked fbuf ref, a queue that lost count of an
+// item) is a bug the degradation machinery would eventually turn into a
+// crash or a silent stall.
+
+// Violation is one failed invariant check.
+type Violation struct {
+	Subject string // what was audited ("pool", "queue[2]", "path#3")
+	Detail  string
+}
+
+func (v Violation) String() string { return v.Subject + ": " + v.Detail }
+
+// AuditPool checks fbuf refcount conservation: every buffer the pool has
+// created is either in the freelist or held by a live message, and the flow
+// counters balance (hits+misses Gets, releases coming back).
+func AuditPool(name string, p *fbuf.Pool) []Violation {
+	var vs []Violation
+	st := p.Stats()
+	if st.Created != st.Free+st.Outstanding {
+		vs = append(vs, Violation{name, fmt.Sprintf(
+			"created %d != free %d + outstanding %d (fbuf ref leak)",
+			st.Created, st.Free, st.Outstanding)})
+	}
+	if st.Outstanding < 0 || st.Free < 0 || st.Created < 0 {
+		vs = append(vs, Violation{name, fmt.Sprintf(
+			"negative population: created %d free %d outstanding %d",
+			st.Created, st.Free, st.Outstanding)})
+	}
+	if got := st.Hits + st.Misses - st.Releases; got != int64(st.Outstanding) {
+		vs = append(vs, Violation{name, fmt.Sprintf(
+			"flow imbalance: hits %d + misses %d - releases %d = %d, want outstanding %d",
+			st.Hits, st.Misses, st.Releases, got, st.Outstanding)})
+	}
+	return vs
+}
+
+// AuditPoolDrained additionally requires that no buffers are outstanding —
+// the post-teardown condition: every message that ever held a buffer
+// released it.
+func AuditPoolDrained(name string, p *fbuf.Pool) []Violation {
+	vs := AuditPool(name, p)
+	if st := p.Stats(); st.Outstanding != 0 {
+		vs = append(vs, Violation{name, fmt.Sprintf(
+			"%d buffers still outstanding after teardown", st.Outstanding)})
+	}
+	return vs
+}
+
+// AuditQueue checks item conservation: everything that entered the queue
+// was either serviced (dequeued), deliberately shed, or is still queued.
+func AuditQueue(name string, q *core.Queue) []Violation {
+	if q == nil {
+		return nil
+	}
+	var vs []Violation
+	if q.Enqueued() != q.Dequeued()+q.Shed()+int64(q.Len()) {
+		vs = append(vs, Violation{name, fmt.Sprintf(
+			"enqueued %d != dequeued %d + shed %d + len %d (item lost or duplicated)",
+			q.Enqueued(), q.Dequeued(), q.Shed(), q.Len())})
+	}
+	if q.Len() > q.Max() {
+		vs = append(vs, Violation{name, fmt.Sprintf(
+			"len %d exceeds max %d", q.Len(), q.Max())})
+	}
+	return vs
+}
+
+// AuditPath checks a path's four queues, and on a destroyed path the full
+// teardown postcondition: queues empty, memory grant released.
+func AuditPath(p *core.Path) []Violation {
+	var vs []Violation
+	subject := fmt.Sprintf("path#%d", p.PID)
+	for qi, q := range p.Q {
+		vs = append(vs, AuditQueue(fmt.Sprintf("%s.q[%d]", subject, qi), q)...)
+	}
+	if p.Dead() {
+		for qi, q := range p.Q {
+			if q != nil && q.Len() != 0 {
+				vs = append(vs, Violation{subject, fmt.Sprintf(
+					"destroyed but q[%d] still holds %d items", qi, q.Len())})
+			}
+		}
+		if p.MemoryBytes() != 0 {
+			vs = append(vs, Violation{subject, fmt.Sprintf(
+				"destroyed but still charged %d bytes", p.MemoryBytes())})
+		}
+	}
+	return vs
+}

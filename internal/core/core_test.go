@@ -736,3 +736,79 @@ func TestPropertyChainsOfAnyLength(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQueueDropCauses(t *testing.T) {
+	q := NewQueue(2)
+	var log []string
+	q.OnDrop = func(item any, cause DropCause) {
+		log = append(log, fmt.Sprintf("%v:%s", item, cause))
+	}
+	q.Enqueue(1)
+	q.Enqueue(2)
+	if q.Enqueue(3) {
+		t.Fatal("enqueue on full queue accepted")
+	}
+	if q.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", q.Dropped())
+	}
+	evicted := q.SetMax(1) // oldest out
+	if fmt.Sprint(evicted) != "[1]" {
+		t.Fatalf("SetMax evicted %v, want [1]", evicted)
+	}
+	drained := q.Drain()
+	if fmt.Sprint(drained) != "[2]" {
+		t.Fatalf("Drain returned %v, want [2]", drained)
+	}
+	want := []string{"3:tail", "1:shed", "2:shed"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("OnDrop log %v, want %v", log, want)
+	}
+	if q.Shed() != 2 {
+		t.Fatalf("Shed = %d, want 2", q.Shed())
+	}
+	// Conservation: everything that entered was serviced, shed, or queued.
+	if q.Enqueued() != q.Dequeued()+q.Shed()+int64(q.Len()) {
+		t.Fatalf("accounting broken: enq=%d deq=%d shed=%d len=%d",
+			q.Enqueued(), q.Dequeued(), q.Shed(), q.Len())
+	}
+}
+
+func TestDestroyIdempotentAndDrains(t *testing.T) {
+	var trace []string
+	g, a := buildChain(t, &trace, nil)
+	p, err := g.CreatePath(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freed := 0
+	p.Q[QInFWD].Enqueue(&countingFreer{&freed})
+	p.Q[QOutBWD].Enqueue(&countingFreer{&freed})
+	hooks := 0
+	p.AddDestroyHook(func(*Path) { hooks++ })
+	p.Destroy()
+	if !p.Dead() {
+		t.Fatal("path not dead after Destroy")
+	}
+	if freed != 2 {
+		t.Fatalf("queued refs freed = %d, want 2", freed)
+	}
+	if hooks != 1 {
+		t.Fatalf("destroy hooks ran %d times, want 1", hooks)
+	}
+	p.Destroy() // second call is a no-op
+	if freed != 2 || hooks != 1 {
+		t.Fatalf("Destroy not idempotent: freed=%d hooks=%d", freed, hooks)
+	}
+	for qi, q := range p.Q {
+		if q != nil && q.Len() != 0 {
+			t.Fatalf("q[%d] still holds %d items", qi, q.Len())
+		}
+	}
+	if err := p.Inject(FWD, msg.New([]byte("x"))); err != ErrPathDead {
+		t.Fatalf("inject on dead path err = %v, want ErrPathDead", err)
+	}
+}
+
+type countingFreer struct{ n *int }
+
+func (c *countingFreer) Free() { *c.n++ }

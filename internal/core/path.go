@@ -109,6 +109,72 @@ type Path struct {
 	EarlyDiscard func(m any) bool
 	// EarlyDiscards counts messages dropped by the filter.
 	EarlyDiscards int64
+
+	// OnOverload, when non-nil, receives the scheduler watchdog's overload
+	// signals for this path — EDF deadline misses, round-robin starvation,
+	// admission revocation — so the path can degrade itself instead of
+	// silently missing (§4.4). amount is the magnitude (e.g. how late the
+	// execution finished).
+	OnOverload func(p *Path, kind OverloadKind, amount time.Duration)
+
+	overloads [overloadKinds]int64
+	onDestroy []func(*Path)
+}
+
+// OverloadKind classifies the overload signals routed to Path.OnOverload.
+type OverloadKind uint8
+
+const (
+	// OverloadDeadlineMiss: an execution retired past its EDF deadline.
+	OverloadDeadlineMiss OverloadKind = iota
+	// OverloadStarvation: a round-robin thread waited longer than the
+	// watchdog's starvation threshold before being dispatched.
+	OverloadStarvation
+	// OverloadRevocation: the admission controller revoked (part of) the
+	// path's grant because the online fit says the system is overcommitted.
+	OverloadRevocation
+
+	overloadKinds = 3
+)
+
+func (k OverloadKind) String() string {
+	switch k {
+	case OverloadDeadlineMiss:
+		return "deadline-miss"
+	case OverloadStarvation:
+		return "starvation"
+	default:
+		return "revocation"
+	}
+}
+
+// NotifyOverload counts an overload signal against the path and invokes its
+// degradation callback. Signals against a dead path are dropped.
+func (p *Path) NotifyOverload(kind OverloadKind, amount time.Duration) {
+	if p.dead || int(kind) >= overloadKinds {
+		return
+	}
+	p.overloads[kind]++
+	if p.OnOverload != nil {
+		p.OnOverload(p, kind, amount)
+	}
+}
+
+// Overloads reports how many signals of the given kind the path received.
+func (p *Path) Overloads(kind OverloadKind) int64 {
+	if int(kind) >= overloadKinds {
+		return 0
+	}
+	return p.overloads[kind]
+}
+
+// AddDestroyHook registers fn to run during Destroy, after the stage destroy
+// functions, in registration order. Subsystems outside core (tracing,
+// admission, degradation) use it to unhook their per-path state exactly once.
+func (p *Path) AddDestroyHook(fn func(*Path)) {
+	if fn != nil {
+		p.onDestroy = append(p.onDestroy, fn)
+	}
 }
 
 // ChargeExec adds d to the cost of the execution currently in progress;
@@ -281,21 +347,48 @@ func (p *Path) footprint() int64 {
 	return pathOverhead + int64(len(p.stages))*stageOverhead + q
 }
 
-// Delete tears the path down: destroy functions run in reverse creation
-// order, the queues are drained, and the path is marked dead. Deleting a
+// Delete tears the path down; it is a synonym for Destroy, kept because the
+// paper calls the operation pathDelete (§3.3).
+func (p *Path) Delete() { p.Destroy() }
+
+// freer is what queued items implement when they hold a buffer reference
+// that must be released on shed (msg.Msg does; display frames do not).
+type freer interface{ Free() }
+
+// Destroy tears the path down completely and idempotently: stage destroy
+// functions run in reverse creation order, every queue is drained with each
+// queued message's buffer reference released (a queued item is an fbuf ref
+// the path still owns — nilling it would leak the buffer), the destroy hooks
+// registered by outside subsystems run, the queue hooks are unhooked, and
+// the memory charged against the admission grant is released. Destroying a
 // dead path is a no-op; the Scout infrastructure never deletes paths
 // implicitly (§3.3), so routers own this call.
-func (p *Path) Delete() {
+func (p *Path) Destroy() {
 	if p.dead {
 		return
 	}
 	p.dead = true
 	destroyStages(p.stages)
 	for _, q := range p.Q {
-		if q != nil {
-			q.Reset()
+		if q == nil {
+			continue
 		}
+		for _, item := range q.Drain() {
+			if f, ok := item.(freer); ok {
+				f.Free()
+			}
+		}
+		q.NotEmpty, q.Drained = nil, nil
+		q.OnEnqueue, q.OnDequeue, q.OnDrop = nil, nil, nil
 	}
+	hooks := p.onDestroy
+	p.onDestroy = nil
+	for _, fn := range hooks {
+		fn(p)
+	}
+	p.EarlyDiscard = nil
+	p.OnOverload = nil
+	p.memBytes = 0
 }
 
 // Dead reports whether Delete has run.

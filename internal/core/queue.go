@@ -5,6 +5,27 @@ package core
 // maximum length; this implementation is a FIFO ring with drop-on-full
 // semantics (what the ETH input queue needs) plus hooks the scheduler and
 // flow control attach to.
+// DropCause distinguishes why a queue let go of an item: a tail drop is an
+// enqueue refused because the queue was full (the item never entered), a
+// shed is an item deliberately removed from the queue without being serviced
+// (capacity squeeze, drain at teardown) — the overload machinery treats the
+// two very differently, so the OnDrop hook reports which happened.
+type DropCause uint8
+
+const (
+	// DropTail: enqueue refused on a full queue.
+	DropTail DropCause = iota
+	// DropShed: a queued item removed unserviced (SetMax eviction, Drain).
+	DropShed
+)
+
+func (c DropCause) String() string {
+	if c == DropTail {
+		return "tail"
+	}
+	return "shed"
+}
+
 type Queue struct {
 	items []any
 	head  int
@@ -12,7 +33,9 @@ type Queue struct {
 	max   int
 
 	enqueued int64
-	dropped  int64
+	dequeued int64
+	dropped  int64 // tail drops: refused enqueues
+	shed     int64 // queued items removed unserviced
 
 	// NotEmpty, when non-nil, is invoked after an enqueue into a
 	// previously empty queue; schedulers use it to wake the path's thread.
@@ -26,10 +49,10 @@ type Queue struct {
 	// only a nil check. OnEnqueue fires after the item is stored (before
 	// NotEmpty), OnDequeue after removal (before Drained); depth is the
 	// queue length after the transition. OnDrop fires for each refused
-	// enqueue.
+	// enqueue (DropTail) and each unserviced removal (DropShed).
 	OnEnqueue func(item any, depth int)
 	OnDequeue func(item any, depth int)
-	OnDrop    func(item any)
+	OnDrop    func(item any, cause DropCause)
 }
 
 // NewQueue returns a queue holding at most max items; max must be positive.
@@ -47,7 +70,7 @@ func (q *Queue) Enqueue(item any) bool {
 	if q.n == q.max {
 		q.dropped++
 		if q.OnDrop != nil {
-			q.OnDrop(item)
+			q.OnDrop(item, DropTail)
 		}
 		return false
 	}
@@ -72,6 +95,7 @@ func (q *Queue) Dequeue() any {
 	q.items[q.head] = nil
 	q.head = (q.head + 1) % q.max
 	q.n--
+	q.dequeued++
 	if q.OnDequeue != nil {
 		q.OnDequeue(item, q.n)
 	}
@@ -108,8 +132,69 @@ func (q *Queue) Empty() bool { return q.n == 0 }
 // Enqueued reports the total number of successful enqueues.
 func (q *Queue) Enqueued() int64 { return q.enqueued }
 
+// Dequeued reports the total number of successful dequeues.
+func (q *Queue) Dequeued() int64 { return q.dequeued }
+
 // Dropped reports how many enqueues were refused because the queue was full.
 func (q *Queue) Dropped() int64 { return q.dropped }
+
+// Shed reports how many queued items were removed unserviced (SetMax
+// evictions and Drain). The conservation invariant the chaos audit checks is
+// Enqueued == Dequeued + Shed + Len.
+func (q *Queue) Shed() int64 { return q.shed }
+
+// SetMax changes the queue's capacity (values < 1 clamp to 1). When the new
+// capacity is below the current length, the oldest items are evicted — in a
+// soft-realtime path the items at the head have waited longest and are worth
+// least — counted as sheds, reported to OnDrop, and returned so the caller
+// can release their buffers. The chaos fault plane uses this for
+// queue-capacity squeezes.
+func (q *Queue) SetMax(max int) []any {
+	if max < 1 {
+		max = 1
+	}
+	var evicted []any
+	for q.n > max {
+		item := q.items[q.head]
+		q.items[q.head] = nil
+		q.head = (q.head + 1) % q.max
+		q.n--
+		q.shed++
+		evicted = append(evicted, item)
+		if q.OnDrop != nil {
+			q.OnDrop(item, DropShed)
+		}
+	}
+	items := make([]any, max)
+	for i := 0; i < q.n; i++ {
+		items[i] = q.items[(q.head+i)%q.max]
+	}
+	q.items, q.head, q.max = items, 0, max
+	return evicted
+}
+
+// Drain removes every queued item without servicing it, counting each as a
+// shed and reporting it to OnDrop. It returns the items in FIFO order so the
+// caller can release their buffers; Path.Destroy is the main client.
+func (q *Queue) Drain() []any {
+	if q.n == 0 {
+		return nil
+	}
+	drained := make([]any, 0, q.n)
+	for q.n > 0 {
+		item := q.items[q.head]
+		q.items[q.head] = nil
+		q.head = (q.head + 1) % q.max
+		q.n--
+		q.shed++
+		drained = append(drained, item)
+		if q.OnDrop != nil {
+			q.OnDrop(item, DropShed)
+		}
+	}
+	q.head = 0
+	return drained
+}
 
 // Reset empties the queue and zeroes its counters.
 func (q *Queue) Reset() {
@@ -117,7 +202,7 @@ func (q *Queue) Reset() {
 		q.items[i] = nil
 	}
 	q.head, q.n = 0, 0
-	q.enqueued, q.dropped = 0, 0
+	q.enqueued, q.dequeued, q.dropped, q.shed = 0, 0, 0, 0
 }
 
 // Queue indices within a path (§2.5: "For each direction, there is an input

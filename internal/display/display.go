@@ -63,6 +63,10 @@ func (s *Sink) Missed() int64 { return s.missed }
 // Done reports whether the sink displayed or missed all expected frames.
 func (s *Sink) Done() bool { return s.done }
 
+// LateSkips reports frames that arrived after the stream's display slots
+// were exhausted; they can never be shown and are drained on vsync.
+func (s *Sink) LateSkips() int64 { return s.lateSkips }
+
 // NextDue reports the display time of the next frame the stream owes the
 // screen; the EDF deadline computation of §4.3 is built on it.
 func (s *Sink) NextDue() sim.Time { return s.nextDue }
@@ -170,6 +174,20 @@ func (d *Device) service(s *Sink, now sim.Time) {
 		s.nextDue = s.nextDue.Add(s.Period)
 		if s.total > 0 && s.displayed+s.missed >= int64(s.total) {
 			s.done = true
+		}
+	}
+	// A done sink must keep draining: frames that straggle in after the
+	// stream's display slots are exhausted can never be shown, but leaving
+	// them queued wedges the decode stage on a full output queue (OnDrain
+	// would never fire again) and the path could never flush or be torn
+	// down.
+	for s.done && s.Queue.Len() > 0 {
+		if s.Queue.Dequeue() == nil {
+			break
+		}
+		s.lateSkips++
+		if s.OnDrain != nil {
+			s.OnDrain()
 		}
 	}
 }

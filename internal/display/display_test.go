@@ -141,3 +141,35 @@ func TestMultipleSinksIndependent(t *testing.T) {
 		t.Fatalf("s1=%v s2=%v", s1, s2)
 	}
 }
+
+func TestDoneSinkKeepsDraining(t *testing.T) {
+	// Frames that straggle in after the stream's display slots are exhausted
+	// must still be drained (with OnDrain fired), or the decode stage wedges
+	// forever on a full output queue — the path could never flush.
+	eng := sim.New(1)
+	d := New(eng, nil, 320, 240, 60)
+	q := core.NewQueue(4)
+	s := d.Attach("v", q, time.Second/30, 3)
+	drains := 0
+	s.OnDrain = func() { drains++ }
+	eng.RunUntil(sim.Time(200 * time.Millisecond)) // all 3 slots miss
+	if !s.Done() || s.Missed() != 3 {
+		t.Fatalf("done=%v missed=%d, want done with 3 misses", s.Done(), s.Missed())
+	}
+	// Late frames arrive after done.
+	q.Enqueue(frame(0))
+	q.Enqueue(frame(1))
+	eng.RunUntil(sim.Time(400 * time.Millisecond))
+	if q.Len() != 0 {
+		t.Fatalf("done sink left %d frames queued", q.Len())
+	}
+	if s.LateSkips() != 2 {
+		t.Fatalf("LateSkips = %d, want 2", s.LateSkips())
+	}
+	if drains != 2 {
+		t.Fatalf("OnDrain fired %d times, want 2 (producer must wake)", drains)
+	}
+	if s.Displayed() != 0 || s.Missed() != 3 {
+		t.Fatalf("late drain changed the score: displayed=%d missed=%d", s.Displayed(), s.Missed())
+	}
+}

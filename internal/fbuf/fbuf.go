@@ -22,32 +22,38 @@ import (
 	"scout/internal/msg"
 )
 
-// ErrLimit is returned by Get when the pool is at its buffer limit. Paths
-// use the limit for admission control: a path may not consume more memory
-// than it was granted at creation time (§4.4).
-var ErrLimit = errors.New("fbuf: pool buffer limit reached")
+// ErrExhausted is the typed error Get returns when the pool is at its buffer
+// limit: the path asked for more memory than it was granted at creation time
+// (§4.4), and instead of allocating without bound the pool refuses and
+// counts the exhaustion so overload is visible, not silent.
+var ErrExhausted = errors.New("fbuf: pool exhausted (buffer limit reached)")
+
+// ErrLimit is the name earlier revisions used for ErrExhausted; kept as an
+// alias so errors.Is and == comparisons against either name keep working.
+var ErrLimit = ErrExhausted
 
 // Pool hands out fixed-size buffers with reserved headroom.
 type Pool struct {
 	mu       sync.Mutex
 	payload  int // usable payload bytes per buffer
 	headroom int
-	limit    int // max outstanding+free buffers ever created; 0 = unlimited
+	limit    int // max live buffers (free+outstanding); 0 = unlimited
 	free     [][]byte
 	created  int
 	out      int // buffers currently held by messages
 
-	hits, misses, releases int64
+	hits, misses, releases, exhausted int64
 }
 
 // Stats is a snapshot of pool behaviour.
 type Stats struct {
-	Created     int   // buffers ever allocated from the Go heap
+	Created     int   // live buffers attributable to the pool (free + outstanding)
 	Outstanding int   // buffers currently owned by live messages
 	Free        int   // buffers in the freelist
 	Hits        int64 // Gets satisfied from the freelist
 	Misses      int64 // Gets that had to allocate
 	Releases    int64 // buffers returned
+	Exhausted   int64 // Gets refused with ErrExhausted at the limit
 }
 
 // NewPool returns a pool of buffers with the given payload size and
@@ -100,7 +106,8 @@ func (p *Pool) take() ([]byte, error) {
 		return buf, nil
 	}
 	if p.limit > 0 && p.created >= p.limit {
-		return nil, ErrLimit
+		p.exhausted++
+		return nil, ErrExhausted
 	}
 	p.created++
 	p.out++
@@ -118,10 +125,51 @@ func (p *Pool) Release(buf []byte) {
 		p.out--
 	}
 	if buf == nil || len(buf) != p.headroom+p.payload {
-		// A grown (reallocated) buffer detached from the pool; drop it.
+		// A grown (reallocated) buffer detached from the pool; drop it and
+		// stop attributing it, keeping Created == Free + Outstanding (the
+		// refcount invariant the chaos audit checks).
+		if p.created > 0 {
+			p.created--
+		}
+		return
+	}
+	if p.limit > 0 && p.created > p.limit {
+		// The limit was squeezed below the live population; shrink toward
+		// it by retiring returned buffers instead of refiling them.
+		p.created--
 		return
 	}
 	p.free = append(p.free, buf)
+}
+
+// Limit reports the pool's current buffer limit (0 = unlimited).
+func (p *Pool) Limit() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.limit
+}
+
+// SetLimit changes the buffer limit (0 = unlimited). Shrinking below the
+// live population takes effect gradually: free buffers are retired at once,
+// outstanding buffers as messages release them — nothing a live message
+// holds is ever pulled out from under it. The chaos fault plane uses this
+// for pool squeezes; restoring the old limit re-enables allocation.
+func (p *Pool) SetLimit(limit int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if limit < 0 {
+		limit = 0
+	}
+	p.limit = limit
+	if limit == 0 {
+		return
+	}
+	for p.created > limit && len(p.free) > 0 {
+		n := len(p.free)
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.created--
+	}
 }
 
 // Stats returns a snapshot of the pool counters.
@@ -135,6 +183,7 @@ func (p *Pool) Stats() Stats {
 		Hits:        p.hits,
 		Misses:      p.misses,
 		Releases:    p.releases,
+		Exhausted:   p.exhausted,
 	}
 }
 

@@ -1,6 +1,7 @@
 package fbuf
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -162,5 +163,62 @@ func BenchmarkGetFree(b *testing.B) {
 			b.Fatal(err)
 		}
 		m.Free()
+	}
+}
+
+func TestErrExhaustedTypedAndCounted(t *testing.T) {
+	p := NewPool(64, 0, 0, 1)
+	a, err := p.Get(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Get(64); !errors.Is(err, ErrExhausted) {
+			t.Fatalf("Get at limit err = %v, want ErrExhausted", err)
+		}
+	}
+	if s := p.Stats(); s.Exhausted != 3 {
+		t.Fatalf("Exhausted = %d, want 3", s.Exhausted)
+	}
+	a.Free()
+	if _, err := p.Get(64); err != nil {
+		t.Fatalf("Get after Free err = %v", err)
+	}
+	// ErrLimit is the compatibility alias; both names must match.
+	if !errors.Is(ErrLimit, ErrExhausted) {
+		t.Fatal("ErrLimit no longer aliases ErrExhausted")
+	}
+}
+
+func TestSetLimitShrinkNeverRevokesLive(t *testing.T) {
+	p := NewPool(64, 0, 4, 0) // 4 preallocated, unlimited
+	a, err := p.Get(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetLimit(1)
+	// The free buffers above the limit are retired at once; the live one
+	// stays valid and attributed.
+	s := p.Stats()
+	if s.Created != 1 || s.Outstanding != 1 || s.Free != 0 {
+		t.Fatalf("after shrink: created=%d out=%d free=%d, want 1/1/0", s.Created, s.Outstanding, s.Free)
+	}
+	if len(a.Bytes()) != 64 {
+		t.Fatal("live buffer damaged by shrink")
+	}
+	if _, err := p.Get(64); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Get at shrunk limit err = %v, want ErrExhausted", err)
+	}
+	a.Free()
+	if s := p.Stats(); s.Created != 1 || s.Outstanding != 0 {
+		t.Fatalf("after release: created=%d out=%d, want 1/0", s.Created, s.Outstanding)
+	}
+	p.SetLimit(0) // unlimited again
+	if _, err := p.Get(64); err != nil {
+		t.Fatalf("Get after restore err = %v", err)
+	}
+	p.SetLimit(-5)
+	if p.Limit() != 0 {
+		t.Fatalf("negative limit = %d, want clamp to 0 (unlimited)", p.Limit())
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"scout/internal/mpeg"
 	"scout/internal/netdev"
 	"scout/internal/proto/inet"
+	"scout/internal/proto/mflow"
 	"scout/internal/sim"
 )
 
@@ -124,5 +125,82 @@ func TestSourceRespectsInitialWindow(t *testing.T) {
 	eng.RunFor(2 * time.Second)
 	if s.PacketsSent != 5 {
 		t.Fatalf("sent %d packets with window 5 and no acks", s.PacketsSent)
+	}
+}
+
+func TestSourceLiveIgnoresWindow(t *testing.T) {
+	// A live capture source is paced by the frame clock, not the window:
+	// with no receiver (no acks ever) it must still send the whole stream.
+	eng, a, b := twoHosts(t)
+	_ = b
+	clip := mpeg.ClipSpec{Name: "T", Frames: 30, W: 64, H: 48, FPS: 30, GOP: 5, AvgPBits: 8000, Jitter: 0}
+	s, err := NewSource(a, SourceConfig{Clip: clip, SrcPort: 7000, CostOnly: true, InitialWindow: 5, Live: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.At(0, func() { s.Start(b.Addr, 8000) })
+	eng.RunFor(3 * time.Second)
+	if done, _ := s.Done(); !done {
+		t.Fatalf("live source stalled: sent %d/%d", s.PacketsSent, s.NumPackets())
+	}
+	if s.PacketsSent != int64(s.NumPackets()) {
+		t.Fatalf("sent %d, want all %d despite closed window", s.PacketsSent, s.NumPackets())
+	}
+}
+
+func TestSourceBackpressureProbesWhenBlocked(t *testing.T) {
+	// A blocked backpressure sender must probe (TCP persist): re-send the
+	// last packet as a duplicate so a silent receiver can re-advertise.
+	eng, a, b := twoHosts(t)
+	_ = b // no MFLOW receiver: the window never opens
+	clip := mpeg.ClipSpec{Name: "T", Frames: 30, W: 64, H: 48, FPS: 30, GOP: 5, AvgPBits: 8000, Jitter: 0}
+	s, err := NewSource(a, SourceConfig{Clip: clip, SrcPort: 7000, CostOnly: true, MaxRate: true,
+		InitialWindow: 5, Backpressure: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.At(0, func() { s.Start(b.Addr, 8000) })
+	eng.RunFor(time.Second)
+	if s.Probes < 10 {
+		t.Fatalf("probes = %d over 1s of blockage, want ~1 per RTOMin (50ms)", s.Probes)
+	}
+	// Probes are duplicates of the last packet, not new data.
+	if new := s.PacketsSent - s.Probes; new != 5 {
+		t.Fatalf("new packets = %d, want the 5-packet window", new)
+	}
+	if done, _ := s.Done(); done {
+		t.Fatal("blocked source claims done")
+	}
+}
+
+func TestSourceBackpressureAckClamp(t *testing.T) {
+	eng, a, b := twoHosts(t)
+	_ = b
+	clip := mpeg.ClipSpec{Name: "T", Frames: 30, W: 64, H: 48, FPS: 30, GOP: 5, AvgPBits: 8000, Jitter: 0}
+	s, err := NewSource(a, SourceConfig{Clip: clip, SrcPort: 7000, CostOnly: true, MaxRate: true,
+		InitialWindow: 5, Backpressure: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.At(0, func() { s.Start(b.Addr, 8000) })
+	eng.RunFor(100 * time.Millisecond) // 5 packets out, blocked
+	ack := func(win uint32) {
+		var pl [mflow.HeaderLen]byte
+		mflow.Header{Kind: mflow.KindAck, Seq: s.seq, Win: win}.Put(pl[:])
+		s.onAck(inet.Participants{}, pl[:])
+	}
+	// A shrinking advertisement takes effect (latest wins) but never drops
+	// below what was already sent — in-flight packets cannot be recalled.
+	ack(2)
+	if s.win != 5 {
+		t.Fatalf("win = %d after shrink below sent, want clamp to seq (5)", s.win)
+	}
+	ack(8)
+	if s.win != 8 {
+		t.Fatalf("win = %d after re-open, want 8", s.win)
+	}
+	eng.RunFor(10 * time.Millisecond)
+	if s.seq != 8 {
+		t.Fatalf("seq = %d after window re-opened to 8, want 8 sent", s.seq)
 	}
 }

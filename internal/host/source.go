@@ -48,6 +48,19 @@ type SourceConfig struct {
 	PayloadBudget int
 	// Seed makes the trace deterministic.
 	Seed int64
+
+	// Backpressure makes the sender honour shrinking window advertisements
+	// (latest advertisement wins) instead of the historical raise-only rule,
+	// so a degraded receiver can throttle the source (§4.4). Off by default:
+	// raise-only is what the recorded E9/Table 1 runs used.
+	Backpressure bool
+
+	// Live models a live capture source: packets are paced at the frame
+	// rate regardless of the advertised window — a camera cannot pause.
+	// Advertisements still update RTT. Under receiver overload a live
+	// stream forces the choice E11 measures: shed load deliberately
+	// (frame-kind early discard) or tail-drop indiscriminately.
+	Live bool
 }
 
 // Source streams one clip to a Scout MPEG path, honouring MFLOW's window
@@ -81,6 +94,7 @@ type Source struct {
 
 	AcksReceived    int64
 	PacketsSent     int64
+	Probes          int64 // window probes sent while blocked (Backpressure)
 	Retransmits     int64
 	FastRetransmits int64
 	RTOs            int64
@@ -185,7 +199,17 @@ func (s *Source) onAck(src inet.Participants, payload []byte) {
 		return
 	}
 	s.AcksReceived++
-	if h.Win > s.win {
+	if s.cfg.Backpressure {
+		// Latest advertisement wins, but never below what was already sent:
+		// in-flight packets cannot be recalled, so clamping to s.seq keeps
+		// the send loop's invariant (seq+1 <= win resumes exactly where the
+		// receiver re-opens the window).
+		if h.Win >= s.seq {
+			s.win = h.Win
+		} else {
+			s.win = s.seq
+		}
+	} else if h.Win > s.win {
 		s.win = h.Win
 	}
 	if h.TS > 0 {
@@ -307,7 +331,7 @@ func (s *Source) trySend() {
 	if fps == 0 {
 		fps = s.cfg.Clip.FPS
 	}
-	for s.next < len(s.packets) && s.seq+1 <= s.win {
+	for s.next < len(s.packets) && (s.cfg.Live || s.seq+1 <= s.win) {
 		if !s.cfg.MaxRate {
 			due := s.started.Add(time.Duration(s.frameOf[s.next]) * time.Second / time.Duration(fps))
 			now := s.h.eng.Now()
@@ -332,5 +356,29 @@ func (s *Source) trySend() {
 	if s.next == len(s.packets) {
 		s.done = true
 		s.doneAt = s.h.eng.Now()
+		return
+	}
+	if s.cfg.Backpressure && s.seq+1 > s.win {
+		// Window closed under backpressure. The receiver acks only on
+		// arrivals, so a fully blocked sender must probe (TCP's persist
+		// timer): re-send the last packet as a duplicate. If the receiver
+		// has room, the duplicate is discarded as old but still acked with
+		// the current window and the stream resumes; if its queue is full,
+		// the probe tail-drops and nothing of value is lost. Shed runs
+		// don't stall the probe loop: early-discarded packets still
+		// advance the advertised window (mflow.NoteShed).
+		if s.waitTick != nil {
+			s.waitTick.Cancel()
+		}
+		s.waitTick = s.h.eng.After(s.cfg.RTOMin, func() {
+			if s.done {
+				return
+			}
+			if s.seq+1 > s.win && s.next > 0 {
+				s.Probes++
+				s.sendPacket(s.seq, s.next-1)
+			}
+			s.trySend() // re-arms the probe while still blocked
+		})
 	}
 }

@@ -152,6 +152,7 @@ type QueueSummary struct {
 	Enqueued int64       `json:"enqueued"`
 	Dequeued int64       `json:"dequeued"`
 	Dropped  int64       `json:"dropped"`
+	Shed     int64       `json:"shed"`
 	MaxDepth int         `json:"maxDepth"`
 	Wait     HistSummary `json:"wait"`
 }
@@ -227,6 +228,7 @@ func (t *Tracer) MetricsDoc() MetricsDoc {
 				Enqueued: qm.Enqueued,
 				Dequeued: qm.Dequeued,
 				Dropped:  qm.Dropped,
+				Shed:     qm.Shed,
 				MaxDepth: qm.MaxDepth,
 				Wait:     summarizeHist(&qm.Wait),
 			})

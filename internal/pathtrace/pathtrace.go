@@ -86,7 +86,8 @@ type QueueMetrics struct {
 	Queue    string
 	Enqueued int64
 	Dequeued int64
-	Dropped  int64
+	Dropped  int64 // tail drops: enqueues refused on a full queue
+	Shed     int64 // queued items removed unserviced (squeeze, teardown)
 	MaxDepth int
 	Wait     Hist
 
@@ -432,11 +433,21 @@ func (t *Tracer) hookQueue(pi *PathInfo, p *core.Path, qi int) {
 		}
 		t.emit(Event{TS: now, Kind: KindDequeue, PID: pi.PID, Name: qm.Queue, Msg: id, Arg: int64(depth)})
 	}
-	q.OnDrop = func(item any) {
+	q.OnDrop = func(item any, cause core.DropCause) {
 		if !t.enabled {
 			return
 		}
-		qm.Dropped++
+		if cause == core.DropShed {
+			// A shed item was counted at enqueue; retire its wait-ring slot
+			// so later dequeues match the right enqueue timestamps.
+			qm.Shed++
+			if qm.n > 0 {
+				qm.head = (qm.head + 1) % len(qm.ring)
+				qm.n--
+			}
+		} else {
+			qm.Dropped++
+		}
 		t.emit(Event{TS: t.eng.Now(), Kind: KindDrop, PID: pi.PID, Name: qm.Queue, Arg: int64(q.Len())})
 	}
 }

@@ -163,6 +163,7 @@ type flowState struct {
 	started   bool
 	cumSeq    uint32
 	maxSeq    uint32
+	winCap    uint32 // advertised-window cap beyond cumSeq (0 = uncapped)
 	recent    map[uint32]bool
 	held      map[uint32]*msg.Msg
 	holdTimer *sim.Event
@@ -496,6 +497,17 @@ func (fs *flowState) sendAck(i *core.NetIface) {
 	if fs.inQ != nil {
 		win += uint32(fs.inQ.Free())
 	}
+	// Backpressure cap (§4.4 degradation): a degraded receiver narrows the
+	// advertised window so the source slows instead of filling queues with
+	// packets the path will only shed. The cap bounds in-flight data
+	// relative to the highest seq that actually reached this stage
+	// (early-discarded packets never do, so a cumSeq-relative cap would
+	// deadlock behind shed sequence holes).
+	if fs.winCap > 0 {
+		if capped := fs.maxSeq + fs.winCap; capped < win {
+			win = capped
+		}
+	}
 	ack := msg.NewWithHeadroom(64, HeaderLen)
 	Header{Kind: KindAck, Seq: fs.cumSeq, Win: win, TS: fs.lastTS}.Put(ack.Bytes())
 	fs.stats.AcksSent++
@@ -622,4 +634,61 @@ func StatsOf(p *core.Path, routerName string) (Stats, bool) {
 		return Stats{}, false
 	}
 	return fs.stats, true
+}
+
+// NoteShed informs the path's MFLOW stage that the data packet carrying seq
+// was consumed by an early-discard filter at interrupt time, before protocol
+// processing. The sequence number must still count as seen: the advertised
+// window is relative to the highest arrived seq, so a run of shed packets
+// would otherwise freeze the advertisement and throttle the source long
+// after the shed decision saved the CPU it was meant to save. Flow-control
+// accounting is the cheap part of receive processing (ALF shed saves the
+// decode, not the header bookkeeping), so the stage charges its per-packet
+// cost and acknowledges on the usual cadence.
+func NoteShed(p *core.Path, routerName string, seq uint32) bool {
+	s := p.StageOf(routerName)
+	if s == nil {
+		return false
+	}
+	fs, ok := s.Data.(*flowState)
+	if !ok {
+		return false
+	}
+	p.ChargeExec(fs.impl.PerPacketCost)
+	if !fs.started {
+		fs.started = true
+		if seq > fs.impl.RecentWindow {
+			fs.cumSeq = seq - 1
+		}
+		fs.maxSeq = fs.cumSeq
+	}
+	if seq > fs.maxSeq {
+		fs.maxSeq = seq
+	}
+	if fs.recent != nil {
+		fs.markDelivered(seq)
+	} else if seq == fs.cumSeq+1 {
+		fs.cumSeq++
+		fs.drainHeld()
+	}
+	fs.ackMaybe(fs.bwdIface)
+	return true
+}
+
+// SetWindowCap caps the receive window the path's MFLOW stage advertises to
+// cumSeq+cap (0 removes the cap). A backpressure-capable source
+// (host.SourceConfig.Backpressure) honours shrinking advertisements, so a
+// degraded path throttles its sender at the origin instead of dropping the
+// excess after it has crossed the link.
+func SetWindowCap(p *core.Path, routerName string, winCap uint32) bool {
+	s := p.StageOf(routerName)
+	if s == nil {
+		return false
+	}
+	fs, ok := s.Data.(*flowState)
+	if !ok {
+		return false
+	}
+	fs.winCap = winCap
+	return true
 }

@@ -77,6 +77,20 @@ type mpegStage struct {
 	// holed by packet loss still display (a glitch, as on real hardware),
 	// so Frames alone overstates delivered quality on a lossy link.
 	Complete int64
+	// CompleteI/CompleteP split Complete by frame kind; the overload
+	// experiment uses them to verify the degradation ladder never costs an
+	// I frame.
+	CompleteI int64
+	CompleteP int64
+}
+
+func (sd *mpegStage) noteComplete(kind mpeg.FrameKind) {
+	sd.Complete++
+	if kind == mpeg.FrameI {
+		sd.CompleteI++
+	} else {
+		sd.CompleteP++
+	}
 }
 
 // CreateStage contributes the MPEG decode stage. The path must enter from
@@ -168,7 +182,7 @@ func (sd *mpegStage) input(i *core.NetIface, m *msg.Msg) error {
 		}
 		if tf != nil {
 			if tf.Complete {
-				sd.Complete++
+				sd.noteComplete(tf.Kind)
 			}
 			done = &display.Frame{
 				Seq:  int(tf.No),
@@ -185,7 +199,7 @@ func (sd *mpegStage) input(i *core.NetIface, m *msg.Msg) error {
 			return err
 		}
 		if f != nil {
-			sd.Complete++ // the real decoder only emits fully decoded frames
+			sd.noteComplete(pkt.Kind) // the real decoder only emits fully decoded frames
 			done = &display.Frame{
 				Seq: sd.frameSeq,
 				W:   f.W,
@@ -239,4 +253,18 @@ func MPEGComplete(p *core.Path, routerName string) (int64, bool) {
 		return 0, false
 	}
 	return sd.Complete, true
+}
+
+// MPEGCompleteByKind splits MPEGComplete by frame kind; E11 uses it to show
+// degradation sacrifices only P frames.
+func MPEGCompleteByKind(p *core.Path, routerName string) (iFrames, pFrames int64, ok bool) {
+	s := p.StageOf(routerName)
+	if s == nil {
+		return 0, 0, false
+	}
+	sd, isMPEG := s.Data.(*mpegStage)
+	if !isMPEG {
+		return 0, 0, false
+	}
+	return sd.CompleteI, sd.CompleteP, true
 }

@@ -66,4 +66,11 @@ const (
 	// stage installs an early-discard filter so packets of skipped
 	// frames are dropped at the network adapter (§4.4). Value: int N>1.
 	AttrDecimate = attr.Decimate
+	// AttrDegrade opts the path into graceful overload degradation
+	// (bool): a VideoDegrader sheds late-GOP P frames when the watchdog
+	// reports deadline misses, never I frames.
+	AttrDegrade = attr.Degrade
+	// AttrGOP is the clip's group-of-pictures length (int, default 15),
+	// which the degradation ladder needs to rank P frames.
+	AttrGOP = attr.MPEGGOP
 )

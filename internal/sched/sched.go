@@ -64,9 +64,10 @@ type Thread struct {
 	path     *core.Path
 	wantWake bool
 
-	cpu  time.Duration
-	runs int64
-	fifo int64 // FIFO arrival stamp within its run queue
+	cpu      time.Duration
+	runs     int64
+	fifo     int64    // FIFO arrival stamp within its run queue
+	queuedAt sim.Time // when the thread last became runnable (watchdog input)
 }
 
 var _ core.ThreadControl = (*Thread)(nil)
@@ -218,6 +219,10 @@ type Sched struct {
 	// actual-minus-charged gap to attribute interrupt steal to paths. Bare
 	// interrupt-only busy periods (no current thread) do not fire it.
 	OnExec func(t *Thread, p *core.Path, start, end sim.Time, charged time.Duration)
+
+	// watchdog, when non-nil, observes dispatches and retirements to detect
+	// deadline misses and starvation (see watchdog.go).
+	watchdog *Watchdog
 }
 
 // New returns a scheduler driven by eng.
@@ -257,6 +262,7 @@ func (s *Sched) NewThread(name, policy string, body Body) *Thread {
 func (s *Sched) enqueue(t *Thread) {
 	s.fifoSeq++
 	t.fifo = s.fifoSeq
+	t.queuedAt = s.eng.Now()
 	s.policies[t.policy].queue.Push(t)
 }
 
@@ -297,6 +303,9 @@ func (s *Sched) maybeDispatch() {
 	s.busy = true
 	s.current = t
 	s.stats.Dispatches++
+	if s.watchdog != nil {
+		s.watchdog.noteDispatch(t, s.eng.Now())
+	}
 
 	cpu, complete := t.body(t)
 	if cpu < 0 {
@@ -331,6 +340,9 @@ func (s *Sched) finishCurrent() {
 		t.state = Sleeping
 		if s.OnExec != nil {
 			s.OnExec(t, t.path, start, s.eng.Now(), charged)
+		}
+		if s.watchdog != nil {
+			s.watchdog.noteFinish(t, s.eng.Now(), charged)
 		}
 	}
 	if done != nil {

@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"scout/internal/attr"
+	"scout/internal/core"
+	"scout/internal/sim"
+)
+
+// wdPath builds a bare single-stage path for watchdog attribution tests.
+func wdPath(t *testing.T) *core.Path {
+	t.Helper()
+	g := core.NewGraph()
+	r := g.Add("R", stubImpl{})
+	if err := g.Build(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.CreatePath(r, attr.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWatchdogDeadlineMiss(t *testing.T) {
+	eng, s := newSched()
+	w := NewWatchdog(s, 0)
+	p := wdPath(t)
+
+	var gotKind core.OverloadKind
+	var gotLate time.Duration
+	p.OnOverload = func(_ *core.Path, kind core.OverloadKind, amount time.Duration) {
+		gotKind, gotLate = kind, amount
+	}
+	events := 0
+	w.OnEvent = func(_ *Thread, ep *core.Path, kind core.OverloadKind, _ time.Duration) {
+		events++
+		if ep != p || kind != core.OverloadDeadlineMiss {
+			t.Errorf("OnEvent path/kind = %v/%v", ep, kind)
+		}
+	}
+
+	// 5ms of work against a 2ms deadline: retires 3ms late.
+	th := s.NewThread("v", PolicyEDF, func(*Thread) (time.Duration, func()) {
+		return 5 * time.Millisecond, nil
+	})
+	th.AttachPath(p)
+	eng.At(0, func() {
+		th.SetDeadline(int64(2 * time.Millisecond))
+		th.Wake()
+	})
+	eng.Run()
+
+	if w.DeadlineMisses() != 1 {
+		t.Fatalf("DeadlineMisses = %d, want 1", w.DeadlineMisses())
+	}
+	if w.WorstMiss() != 3*time.Millisecond {
+		t.Fatalf("WorstMiss = %v, want 3ms", w.WorstMiss())
+	}
+	if w.MissesByPath(p.PID) != 1 {
+		t.Fatalf("MissesByPath = %d, want 1", w.MissesByPath(p.PID))
+	}
+	if gotKind != core.OverloadDeadlineMiss || gotLate != 3*time.Millisecond {
+		t.Fatalf("path callback got %v/%v, want deadline-miss/3ms", gotKind, gotLate)
+	}
+	if p.Overloads(core.OverloadDeadlineMiss) != 1 {
+		t.Fatalf("path overload count = %d, want 1", p.Overloads(core.OverloadDeadlineMiss))
+	}
+	if events != 1 {
+		t.Fatalf("OnEvent ran %d times, want 1", events)
+	}
+}
+
+func TestWatchdogMeetingDeadlineIsClean(t *testing.T) {
+	eng, s := newSched()
+	w := NewWatchdog(s, 0)
+	th := s.NewThread("v", PolicyEDF, func(*Thread) (time.Duration, func()) {
+		return time.Millisecond, nil
+	})
+	eng.At(0, func() {
+		th.SetDeadline(int64(5 * time.Millisecond))
+		th.Wake()
+	})
+	eng.Run()
+	if w.DeadlineMisses() != 0 || w.WorstMiss() != 0 {
+		t.Fatalf("misses=%d worst=%v on a met deadline", w.DeadlineMisses(), w.WorstMiss())
+	}
+}
+
+func TestWatchdogEmptyPollNotJudged(t *testing.T) {
+	eng, s := newSched()
+	w := NewWatchdog(s, 0)
+	// An execution that charges zero CPU past its deadline is a poll that
+	// found nothing, not a miss.
+	th := s.NewThread("v", PolicyEDF, func(*Thread) (time.Duration, func()) {
+		return 0, nil
+	})
+	eng.At(sim.Time(10*time.Millisecond), func() {
+		th.SetDeadline(int64(time.Millisecond)) // already past
+		th.Wake()
+	})
+	eng.Run()
+	if w.DeadlineMisses() != 0 {
+		t.Fatalf("empty poll judged as miss: %d", w.DeadlineMisses())
+	}
+}
+
+func TestWatchdogStarvation(t *testing.T) {
+	eng, s := newSched()
+	w := NewWatchdog(s, 2*time.Millisecond)
+	p := wdPath(t)
+
+	var starved time.Duration
+	p.OnOverload = func(_ *core.Path, kind core.OverloadKind, amount time.Duration) {
+		if kind == core.OverloadStarvation {
+			starved = amount
+		}
+	}
+	// A long-running hog delays a round-robin thread past the threshold.
+	hog := s.NewThread("hog", PolicyRR, func(*Thread) (time.Duration, func()) {
+		return 10 * time.Millisecond, nil
+	})
+	rr := s.NewThread("rr", PolicyRR, func(*Thread) (time.Duration, func()) {
+		return time.Millisecond, nil
+	})
+	rr.AttachPath(p)
+	eng.At(0, func() {
+		hog.Wake()
+		rr.Wake() // queued at 0, dispatched at 10ms: 10ms > 2ms threshold
+	})
+	eng.Run()
+	if w.Starvations() != 1 {
+		t.Fatalf("Starvations = %d, want 1", w.Starvations())
+	}
+	if starved != 10*time.Millisecond {
+		t.Fatalf("starvation wait = %v, want 10ms", starved)
+	}
+	if p.Overloads(core.OverloadStarvation) != 1 {
+		t.Fatalf("path starvation count = %d, want 1", p.Overloads(core.OverloadStarvation))
+	}
+}
+
+func TestWatchdogStarvationDisabled(t *testing.T) {
+	eng, s := newSched()
+	w := NewWatchdog(s, 0) // 0 disables starvation checks
+	hog := s.NewThread("hog", PolicyRR, func(*Thread) (time.Duration, func()) {
+		return 10 * time.Millisecond, nil
+	})
+	rr := s.NewThread("rr", PolicyRR, func(*Thread) (time.Duration, func()) {
+		return time.Millisecond, nil
+	})
+	eng.At(0, func() { hog.Wake(); rr.Wake() })
+	eng.Run()
+	if w.Starvations() != 0 {
+		t.Fatalf("Starvations = %d with checks disabled", w.Starvations())
+	}
+}
+
+func TestWatchdogPassiveWithoutAttachment(t *testing.T) {
+	// Identical workload with and without a watchdog must schedule
+	// identically — detection is passive.
+	runLog := func(attach bool) string {
+		eng, s := newSched()
+		if attach {
+			NewWatchdog(s, time.Millisecond)
+		}
+		var log []string
+		a := s.NewThread("a", PolicyEDF, oneShot(eng, &log, "a", 3*time.Millisecond))
+		b := s.NewThread("b", PolicyEDF, oneShot(eng, &log, "b", 3*time.Millisecond))
+		eng.At(0, func() {
+			a.SetDeadline(int64(time.Millisecond))
+			b.SetDeadline(int64(2 * time.Millisecond))
+			a.Wake()
+			b.Wake()
+		})
+		eng.Run()
+		out := ""
+		for _, l := range log {
+			out += l + ";"
+		}
+		return out
+	}
+	if with, without := runLog(true), runLog(false); with != without {
+		t.Fatalf("watchdog changed scheduling: %q vs %q", with, without)
+	}
+}
