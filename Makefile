@@ -5,11 +5,16 @@
 GO ?= go
 
 # Bench knobs: CI uses BENCHTIME=1x for a fast, non-noisy artifact; local
-# runs can leave the default measurement time.
+# runs can leave the default measurement time. BENCHCOUNT repeats each
+# benchmark; benchjson keeps the best observation per metric (min cost,
+# max fps), the standard defence against scheduler/GC noise on shared
+# machines. BENCHBASE is the committed baseline benchdiff compares against.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_pr3.json
+BENCHCOUNT ?= 3
+BENCHOUT ?= BENCH_pr5.json
+BENCHBASE ?= BENCH_pr3.json
 
-.PHONY: check build vet test race lint bench tracegate chaosgate
+.PHONY: check build vet test race lint bench benchdiff benchsmoke tracegate chaosgate
 
 check: build vet test race lint
 
@@ -32,8 +37,21 @@ lint:
 # output is kept in BENCH_raw.txt and parsed into $(BENCHOUT) by
 # cmd/benchjson. Two steps (not a pipe) so a bench failure fails the target.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/pathtrace > BENCH_raw.txt
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/pathtrace > BENCH_raw.txt
 	$(GO) run ./cmd/benchjson -in BENCH_raw.txt -out $(BENCHOUT)
+
+# benchdiff gates the perf trajectory: the committed candidate artifact must
+# hold its thresholds against the committed baseline (allocs strictly, ns/op
+# within ratio when CPUs match, fps no regression, and the flow cache's
+# hit-vs-walk separation within the candidate itself).
+benchdiff:
+	$(GO) run ./cmd/benchjson -base $(BENCHBASE) -new $(BENCHOUT)
+
+# benchsmoke is the CI-fast subset: one iteration of the wall-clock micro
+# benchmarks (E1–E3 + cold miss) to prove they still run; timings at
+# -benchtime=1x are indicative only.
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkE1|BenchmarkE2|BenchmarkE3' -benchmem -benchtime 1x .
 
 # tracegate is the determinism regression gate: two same-seed E10 smoke runs
 # must export byte-identical traces and metrics.

@@ -58,6 +58,29 @@ func BenchmarkE2_Demux(b *testing.B) {
 	}
 }
 
+// The device-edge flow cache makes BenchmarkE2_Demux a cache-hit
+// measurement (Classify consults the cache first); this is the companion
+// cold-miss cost — the full hop-by-hop walk the cache short-circuits. The
+// fast-path target is hit ≤ walk/3 (see `make benchdiff`).
+func BenchmarkE2_Demux_ColdMiss(b *testing.B) {
+	k, err := exp.NewMicroKernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	testR, _ := k.Graph.Router("TEST")
+	if _, err := k.Graph.CreatePath(testR, exp.TestPathAttrs(9300)); err != nil {
+		b.Fatal(err)
+	}
+	m := exp.BuildVideoFrame(k, 9300, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.ETH.ClassifyUncached(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- E3: §3.6 object sizes (paper: path ≈300B, stage ≈150B) ---
 
 func BenchmarkE3_Footprint(b *testing.B) {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mpegbench                  # run everything
-//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload
+//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload|e12
 //	mpegbench -edf-full        # EDF experiment at full clip lengths
 //	mpegbench -run e10 -trace trace.json -metrics metrics.json
 //	                           # per-stage breakdown + Perfetto trace dump
@@ -13,6 +13,8 @@
 //	                           # CI-sized E10 (short clip, two load levels)
 //	mpegbench -run overload -overload-smoke
 //	                           # CI-sized E11 (short clip, one overcommit)
+//	mpegbench -run e12 -e12-smoke
+//	                           # fast-path differential at CI size
 package main
 
 import (
@@ -28,10 +30,11 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload")
+	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload|e12")
 	edfFull := flag.Bool("edf-full", false, "run the EDF experiment at full clip lengths (1345/1758 frames)")
 	e10Smoke := flag.Bool("e10-smoke", false, "run E10 at CI size (short clip, loads {0,2})")
 	overloadSmoke := flag.Bool("overload-smoke", false, "run E11 at CI size (short clip, overcommit {1.5})")
+	e12Smoke := flag.Bool("e12-smoke", false, "run E12 at CI size (short clip)")
 	traceOut := flag.String("trace", "", "write E10's highest-load run as Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics", "", "write E10's highest-load metrics JSON (pathtop input) to this file")
 	flag.Parse()
@@ -129,6 +132,18 @@ func main() {
 			cfg = exp.SmokeOverloadConfig()
 		}
 		exp.PrintE11(w, exp.RunE11(cfg))
+	})
+
+	run("e12", func() {
+		cfg := exp.E12Config{}
+		if *e12Smoke {
+			cfg = exp.SmokeE12Config()
+		}
+		res := exp.RunE12(cfg)
+		exp.PrintE12(w, res)
+		if !res.Match() {
+			os.Exit(1)
+		}
 	})
 
 	run("ilp", func() {

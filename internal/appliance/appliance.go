@@ -57,6 +57,19 @@ type Config struct {
 	// when off, data-path code pays only nil checks.
 	Tracing bool
 
+	// NoFastPath is the fast-path kill switch: it disables both the
+	// device-edge flow cache (every frame pays the full demux walk) and
+	// path fusion (every hop pays dynamic dispatch and full revalidation).
+	// The differential experiments (E12) boot one kernel each way and
+	// require identical outputs.
+	NoFastPath bool
+
+	// CoalesceRx enables receive-interrupt mitigation on the NIC: frames
+	// arriving at the same virtual instant share one scheduler interrupt
+	// entry. Off by default because it reorders work within an instant,
+	// which perturbs virtual-time outputs of seeded experiments.
+	CoalesceRx bool
+
 	// StarveAfter is the watchdog's runnable-to-dispatch latency beyond
 	// which a thread without a deadline counts as starving (default 50ms;
 	// < 0 disables starvation detection).
@@ -161,10 +174,17 @@ func Boot(eng *sim.Engine, link *netdev.Link, cfg Config) (*Kernel, error) {
 
 	k.Dev = netdev.NewDevice(link, cfg.MAC, k.CPU)
 	k.Dev.RxIRQCost = cfg.RxIRQCost
+	k.Dev.CoalesceRx = cfg.CoalesceRx
+	k.Tracer.SetDeviceSampler(func() []pathtrace.DevSummary {
+		return []pathtrace.DevSummary{pathtrace.SampleDevice("eth0", k.Dev)}
+	})
 	k.FB = display.New(eng, k.CPU, cfg.DisplayW, cfg.DisplayH, cfg.RefreshHz)
 	k.FB.VsyncIRQCost = 2 * time.Microsecond
 
 	k.ETH = eth.New(k.Dev)
+	if cfg.NoFastPath {
+		k.ETH.FlowCacheCap = -1 // no flow cache on this NIC
+	}
 	k.ARP = arp.New(cfg.Addr, k.CPU)
 	k.IP = ip.New(ip.Config{Addr: cfg.Addr, Mask: cfg.Mask, Gateway: cfg.Gateway}, k.CPU)
 	k.UDP = udp.New()
@@ -179,6 +199,9 @@ func Boot(eng *sim.Engine, link *netdev.Link, cfg Config) (*Kernel, error) {
 
 	g := core.NewGraph()
 	k.Graph = g
+	if cfg.NoFastPath {
+		g.SetFuse(false)
+	}
 	rETH := g.Add("ETH", k.ETH)
 	rARP := g.Add("ARP", k.ARP)
 	rIP := g.Add("IP", k.IP)

@@ -90,6 +90,11 @@ const (
 	// MPEGGOP is the clip's group-of-pictures length, which the degradation
 	// ladder needs to rank P frames by GOP position. Value: int (default 15).
 	MPEGGOP Name = "PA_MPEG_GOP"
+	// NoFuse opts the path out of the delivery-fusion phase of CreatePath,
+	// keeping per-hop dynamic dispatch; the differential fast-path tests use
+	// it to prove fused and unfused delivery are behaviour-identical.
+	// Value: bool.
+	NoFuse Name = "PA_NO_FUSE"
 )
 
 // Attrs is a mutable set of name/value pairs. A nil *Attrs behaves like an
@@ -169,6 +174,14 @@ func (a *Attrs) Bool(n Name) (bool, bool) {
 	}
 	b, ok := v.(bool)
 	return b, ok
+}
+
+// BoolDefault returns the attribute as a bool, or def if absent/mistyped.
+func (a *Attrs) BoolDefault(n Name, def bool) bool {
+	if b, ok := a.Bool(n); ok {
+		return b
+	}
+	return def
 }
 
 // String returns the attribute as a string.

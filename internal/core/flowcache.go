@@ -1,0 +1,184 @@
+package core
+
+// Flow cache: the device-edge half of the fast-path engine (§4.1 of the
+// paper argues classification should happen "as early as possible — in the
+// interrupt handler"). The first frame of a flow pays the full hop-by-hop
+// Demux walk; on success the device records a flat header fingerprint →
+// *Path binding here, and every later frame of the flow resolves in one map
+// lookup at interrupt time, skipping the router chain entirely.
+//
+// Correctness rests on two rules, both enforced in this file's callers:
+//
+//   - Only keys extracted by netdev.FlowKeyOf are ever cached, and the
+//     extractor validates everything the demux chain would (link address,
+//     EtherType, IP version, header checksum, fragmentation, protocol).
+//     Two frames with the same key are therefore classified identically by
+//     the full walk — as long as the demux tables have not changed.
+//   - Any event that can change a classification decision invalidates: path
+//     destruction (a per-path destroy hook installed at Insert), demux-table
+//     changes (UDP port bind/unbind), rule changes (Graph.AddRule), and
+//     ARP/route learning — all routed through Graph.InvalidateFlows.
+//
+// The cache holds no timing state and charges no CPU itself; hits and misses
+// charge exactly the same virtual-clock costs as before (the device IRQ and
+// per-frame stage costs are unchanged), so every experiment's virtual-time
+// output is byte-identical with the cache on or off. What the cache changes
+// is only which host code computes that identical result.
+
+// FlowKey is a flat fingerprint of the headers that determine a frame's
+// classification: EtherType, IP protocol, source/destination address, and
+// transport ports. It is extracted from the raw frame without allocation
+// (netdev.FlowKeyOf) and is a comparable value type, so it can key a map
+// directly.
+type FlowKey struct {
+	EtherType uint16
+	Proto     uint8
+	Src, Dst  [4]byte
+	SrcPort   uint16
+	DstPort   uint16
+}
+
+// FlowCacheStats is a snapshot of cache behaviour, surfaced through
+// pathtrace metrics and pathtop.
+type FlowCacheStats struct {
+	Hits          int64 // lookups resolved from the cache
+	Misses        int64 // lookups that fell back to the full demux walk
+	Inserts       int64 // successful walk results recorded
+	Evictions     int64 // entries displaced by the capacity bound
+	Invalidations int64 // entries removed by invalidation (destroy/table change)
+}
+
+// FlowCache is a bounded map from flow fingerprints to live paths. It is
+// single-owner like every other data-path structure in the simulation: all
+// mutation happens from sim.Engine event context (the scoutlint flowclock
+// check enforces this statically).
+type FlowCache struct {
+	cap     int
+	entries map[FlowKey]*Path
+	order   []FlowKey      // insertion order, oldest first (FIFO eviction)
+	hooked  map[*Path]bool // paths carrying our destroy hook
+	stats   FlowCacheStats
+}
+
+// NewFlowCache returns a cache bounded to cap entries; cap must be positive.
+func NewFlowCache(cap int) *FlowCache {
+	if cap <= 0 {
+		cap = 1
+	}
+	return &FlowCache{
+		cap:     cap,
+		entries: make(map[FlowKey]*Path, cap),
+		hooked:  make(map[*Path]bool),
+	}
+}
+
+// Lookup resolves a fingerprint to its cached path. A hit never returns a
+// destroyed path: the destroy hook removes entries eagerly, and a defensive
+// liveness check backs it up.
+func (fc *FlowCache) Lookup(k FlowKey) (*Path, bool) {
+	p, ok := fc.entries[k]
+	if ok && p.Dead() {
+		// Defensive: Destroy should have invalidated already.
+		delete(fc.entries, k)
+		fc.stats.Invalidations++
+		ok = false
+	}
+	if ok {
+		fc.stats.Hits++
+		return p, true
+	}
+	fc.stats.Misses++
+	return nil, false
+}
+
+// Insert records a successful full-walk classification. Only called after
+// Graph.Demux returned a live path for a frame whose fingerprint is k. The
+// first entry for a path installs a destroy hook so the binding can never
+// outlive it.
+func (fc *FlowCache) Insert(k FlowKey, p *Path) {
+	if p == nil || p.Dead() {
+		return
+	}
+	if _, exists := fc.entries[k]; !exists {
+		for len(fc.entries) >= fc.cap {
+			fc.evictOldest()
+		}
+		fc.order = append(fc.order, k)
+	}
+	fc.entries[k] = p
+	fc.stats.Inserts++
+	if !fc.hooked[p] {
+		fc.hooked[p] = true
+		p.AddDestroyHook(func(dead *Path) { fc.InvalidatePath(dead) })
+	}
+	fc.compact()
+}
+
+// evictOldest removes the oldest still-present entry (skipping order slots
+// already cleared by invalidation).
+func (fc *FlowCache) evictOldest() {
+	for len(fc.order) > 0 {
+		k := fc.order[0]
+		fc.order = fc.order[1:]
+		if _, ok := fc.entries[k]; ok {
+			delete(fc.entries, k)
+			fc.stats.Evictions++
+			return
+		}
+	}
+	// order exhausted but entries non-empty should be impossible; clear
+	// defensively rather than loop forever.
+	for k := range fc.entries {
+		delete(fc.entries, k)
+		fc.stats.Evictions++
+		return
+	}
+}
+
+// compact bounds the order slate: invalidations delete map entries without
+// touching order, so periodically rebuild it from the survivors.
+func (fc *FlowCache) compact() {
+	if len(fc.order) <= 2*fc.cap {
+		return
+	}
+	kept := fc.order[:0]
+	for _, k := range fc.order {
+		if _, ok := fc.entries[k]; ok {
+			kept = append(kept, k)
+		}
+	}
+	fc.order = kept
+}
+
+// InvalidatePath removes every entry bound to p (its destroy hook calls
+// this; it is also safe to call directly).
+func (fc *FlowCache) InvalidatePath(p *Path) {
+	for k, v := range fc.entries {
+		if v == p {
+			delete(fc.entries, k)
+			fc.stats.Invalidations++
+		}
+	}
+	delete(fc.hooked, p)
+}
+
+// InvalidateAll empties the cache. Demux-table and rule changes use this:
+// correctness only needs "never serve a stale decision", and table changes
+// are rare control-plane events, so wholesale invalidation is the simple
+// safe choice.
+func (fc *FlowCache) InvalidateAll() {
+	n := len(fc.entries)
+	if n == 0 && len(fc.order) == 0 {
+		return
+	}
+	fc.stats.Invalidations += int64(n)
+	clear(fc.entries)
+	clear(fc.hooked)
+	fc.order = fc.order[:0]
+}
+
+// Len reports the number of live entries.
+func (fc *FlowCache) Len() int { return len(fc.entries) }
+
+// Stats returns a snapshot of the cache counters.
+func (fc *FlowCache) Stats() FlowCacheStats { return fc.stats }

@@ -31,6 +31,14 @@ type NetIface struct {
 	// share of the path function and usually ends by calling
 	// DeliverNext.
 	Deliver func(i *NetIface, m *msg.Msg) error
+
+	// fastNext/fastBack are set by the fusion phase of CreatePath: they cache
+	// the already-type-asserted neighbouring NetIface so steady-state
+	// delivery skips the per-hop dynamic dispatch (interface type assertion
+	// and nil checks). The Deliver pointer itself is still read at call time,
+	// so wrappers installed after fusion (pathtrace spans, chaos faults)
+	// compose transparently with the fused chain.
+	fastNext, fastBack *NetIface
 }
 
 // NewNetIface returns a NetIface with the given deliver function.
@@ -40,6 +48,9 @@ func NewNetIface(deliver func(i *NetIface, m *msg.Msg) error) *NetIface {
 
 // DeliverNext passes m to the next interface in this interface's direction.
 func (i *NetIface) DeliverNext(m *msg.Msg) error {
+	if n := i.fastNext; n != nil {
+		return n.Deliver(n, m)
+	}
 	nx := i.Next
 	if nx == nil {
 		return ErrEndOfPath
@@ -57,6 +68,9 @@ func (i *NetIface) DeliverNext(m *msg.Msg) error {
 // DeliverBack turns m around: it passes it to the next interface in the
 // opposite direction (§2.4.1 — piggy-backed acknowledgments and the like).
 func (i *NetIface) DeliverBack(m *msg.Msg) error {
+	if b := i.fastBack; b != nil {
+		return b.Deliver(b, m)
+	}
 	bk := i.Back
 	if bk == nil {
 		return ErrEndOfPath

@@ -48,6 +48,13 @@ type Stage struct {
 	// Destroy, if non-nil, runs at path deletion, in reverse creation
 	// order.
 	Destroy func(s *Stage)
+	// Fuse, if non-nil, runs during the fusion phase of CreatePath (after
+	// establish, before transformation rules): the stage may swap its
+	// Deliver pointers for specialized implementations that pre-compute
+	// header offsets and skip work the device-edge classifier already did.
+	// A fused Deliver must be behaviour-identical for every message the
+	// path can legally receive.
+	Fuse func(s *Stage)
 	// Data holds router-specific per-stage state (reassembly buffers,
 	// decode contexts, ...).
 	Data any
@@ -84,6 +91,7 @@ type Path struct {
 	graph  *Graph
 	stages []*Stage
 	dead   bool
+	fused  bool
 
 	applied map[string]bool // transformation rules already applied
 
@@ -318,6 +326,16 @@ func (g *Graph) CreatePath(r *Router, a *attr.Attrs) (*Path, error) {
 		}
 	}
 
+	// Phase 3.5: fuse the delivery chain. Like phase 4 this is semantically
+	// a no-op — it caches the per-hop dispatch decisions (type assertions,
+	// nil checks) that cannot change for the lifetime of the path, and lets
+	// stages install specialized Deliver implementations. It runs before the
+	// transformation rules so rules (and later the tracing and chaos
+	// subsystems) wrap the fused pointers.
+	if !g.noFuse && !a.BoolDefault(attr.NoFuse, false) {
+		p.fuse()
+	}
+
 	// Phase 4: apply global transformation rules (§3.3). Semantically a
 	// no-op; each rule may only improve the path.
 	if err := g.applyRules(p); err != nil {
@@ -326,6 +344,39 @@ func (g *Graph) CreatePath(r *Router, a *attr.Attrs) (*Path, error) {
 	}
 	return p, nil
 }
+
+// fuse caches each interface's next/back neighbour when it is a ready
+// NetIface (so DeliverNext/DeliverBack skip dynamic dispatch) and runs the
+// stages' Fuse hooks. Neighbours that are absent, non-net, or deliverless
+// keep the generic dispatch with its exact error behaviour.
+func (p *Path) fuse() {
+	asFast := func(i Iface) *NetIface {
+		ni, ok := i.(*NetIface)
+		if !ok || ni == nil || ni.Deliver == nil {
+			return nil
+		}
+		return ni
+	}
+	for _, st := range p.stages {
+		for d := 0; d < 2; d++ {
+			ni, ok := st.End[d].(*NetIface)
+			if !ok || ni == nil {
+				continue
+			}
+			ni.fastNext = asFast(ni.Next)
+			ni.fastBack = asFast(ni.Back)
+		}
+	}
+	for _, st := range p.stages {
+		if st.Fuse != nil {
+			st.Fuse(st)
+		}
+	}
+	p.fused = true
+}
+
+// Fused reports whether the fusion phase ran on this path.
+func (p *Path) Fused() bool { return p.fused }
 
 func destroyStages(stages []*Stage) {
 	for i := len(stages) - 1; i >= 0; i-- {

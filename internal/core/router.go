@@ -130,12 +130,47 @@ type Graph struct {
 	rules   []Rule
 	built   bool
 	nextPID int64
+
+	// flowCaches are the device-edge flow caches registered against this
+	// graph. Anything that can change a classification decision (rule
+	// changes, demux-table updates, route learning) calls InvalidateFlows so
+	// no cache can serve a stale decision.
+	flowCaches []*FlowCache
+	// noFuse disables the path-fusion phase of CreatePath; fusion is on by
+	// default and individually suppressible per path via attr.NoFuse.
+	noFuse bool
 }
 
 // NewGraph returns an empty router graph.
 func NewGraph() *Graph {
 	return &Graph{byName: make(map[string]*Router)}
 }
+
+// RegisterFlowCache attaches a device-edge flow cache to the graph so
+// control-plane changes can invalidate it.
+func (g *Graph) RegisterFlowCache(fc *FlowCache) {
+	if fc == nil {
+		return
+	}
+	g.flowCaches = append(g.flowCaches, fc)
+}
+
+// InvalidateFlows empties every registered flow cache. Called on any event
+// that can change a classification decision: demux-table updates (UDP port
+// bind/unbind), rule changes, ARP/route learning.
+func (g *Graph) InvalidateFlows() {
+	for _, fc := range g.flowCaches {
+		fc.InvalidateAll()
+	}
+}
+
+// SetFuse enables or disables the path-fusion phase for subsequently created
+// paths (it is on by default). Experiments use the off position to prove the
+// fused chain is behaviour-identical to per-hop dispatch.
+func (g *Graph) SetFuse(on bool) { g.noFuse = !on }
+
+// FuseEnabled reports whether new paths will be fused.
+func (g *Graph) FuseEnabled() bool { return !g.noFuse }
 
 // Add creates a router named name implemented by impl. Names must be unique
 // within the graph.

@@ -26,6 +26,9 @@ func (g *Graph) AddRule(r Rule) {
 		panic("core: rule needs name, guard and transform")
 	}
 	g.rules = append(g.rules, r)
+	// A new rule can change what future classifications should produce (a
+	// transformation may rewire interfaces); flush any cached decisions.
+	g.InvalidateFlows()
 }
 
 // Rules returns the registered rules in registration order.

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestE12Match is the fast-path equivalence gate: the engine on and off must
+// produce identical outputs from the same seed, while the fast run actually
+// exercises the cache and fusion.
+func TestE12Match(t *testing.T) {
+	res := RunE12(SmokeE12Config())
+	if !res.Match() {
+		var b bytes.Buffer
+		PrintE12(&b, res)
+		t.Fatalf("fast-path outputs diverge:\n%s", b.String())
+	}
+	if !res.Fast.Fused {
+		t.Error("fast variant: video path not fused")
+	}
+	if res.Slow.Fused {
+		t.Error("nofast variant: video path fused despite kill switch")
+	}
+	if res.Fast.FlowHits == 0 {
+		t.Error("fast variant: flow cache never hit")
+	}
+	if res.Fast.FlowInvalidations == 0 {
+		t.Error("fast variant: mid-stream path churn caused no invalidations")
+	}
+	if res.Slow.FlowHits != 0 || res.Slow.FlowInserts != 0 {
+		t.Errorf("nofast variant: flow cache active (hits=%d inserts=%d)",
+			res.Slow.FlowHits, res.Slow.FlowInserts)
+	}
+	if res.Fast.Displayed == 0 {
+		t.Error("no frames displayed: experiment degenerate")
+	}
+}
+
+// TestE12Deterministic re-runs the fast variant and requires byte-identical
+// rendered output.
+func TestE12Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs")
+	}
+	var a, b bytes.Buffer
+	PrintE12(&a, RunE12(SmokeE12Config()))
+	PrintE12(&b, RunE12(SmokeE12Config()))
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("E12 output differs between identical runs")
+	}
+}

@@ -39,6 +39,9 @@ type LossCell struct {
 	RTOs        int64
 	// Gaps counts sequence holes MFLOW passed up to the decoder.
 	Gaps int64
+	// NoPathDrops counts frames the classifier discarded for want of a path
+	// (corrupted or stray traffic the driver used to drop silently).
+	NoPathDrops int64
 }
 
 // LossRow pairs the retransmission-on and -off cells for one loss rate.
@@ -118,7 +121,8 @@ func LossMaxRate(clip mpeg.ClipSpec, loss float64, retransmit bool) LossCell {
 		end = lastChange
 	}
 
-	cell := LossCell{Displayed: sink.Displayed(), Retransmits: src.Retransmits, RTOs: src.RTOs}
+	cell := LossCell{Displayed: sink.Displayed(), Retransmits: src.Retransmits, RTOs: src.RTOs,
+		NoPathDrops: k.Dev.NoPathDrops()}
 	cell.Complete, _ = routers.MPEGComplete(p, "MPEG")
 	if st, ok := mflow.StatsOf(p, "MFLOW"); ok {
 		cell.Gaps = st.Gaps
@@ -130,11 +134,11 @@ func LossMaxRate(clip mpeg.ClipSpec, loss float64, retransmit bool) LossCell {
 // PrintLoss renders the E9 sweep.
 func PrintLoss(w io.Writer, clip string, rows []LossRow) {
 	fprintf(w, "E9: %s decode quality vs link loss (complete frames/sec, max-rate stream)\n", clip)
-	fprintf(w, "%7s | %10s %9s %7s %7s | %10s %9s %7s\n", "loss",
-		"retx FPS", "complete", "retx", "RTOs", "noretx FPS", "complete", "gaps")
+	fprintf(w, "%7s | %10s %9s %7s %7s | %10s %9s %7s | %7s\n", "loss",
+		"retx FPS", "complete", "retx", "RTOs", "noretx FPS", "complete", "gaps", "nopath")
 	for _, r := range rows {
-		fprintf(w, "%6.2f%% | %10.1f %9d %7d %7d | %10.1f %9d %7d\n",
+		fprintf(w, "%6.2f%% | %10.1f %9d %7d %7d | %10.1f %9d %7d | %7d\n",
 			r.LossPct, r.On.FPS, r.On.Complete, r.On.Retransmits, r.On.RTOs,
-			r.Off.FPS, r.Off.Complete, r.Off.Gaps)
+			r.Off.FPS, r.Off.Complete, r.Off.Gaps, r.On.NoPathDrops+r.Off.NoPathDrops)
 	}
 }

@@ -103,6 +103,7 @@ type E11Cell struct {
 	Escalations int64
 	Relaxations int64
 	Probes      int64 // source window probes while backpressured
+	NoPathDrops int64 // frames the classifier discarded for want of a path
 
 	Audit []string // invariant violations (must be empty)
 }
@@ -210,6 +211,7 @@ func runE11Cell(cfg E11Config, overcommit float64, degrade bool, factor float64,
 	cell.CompleteI, cell.CompleteP, _ = routers.MPEGCompleteByKind(p, "MPEG")
 	cell.EarlyDiscards = p.EarlyDiscards
 	cell.TailDrops = p.Q[core.QInBWD].Dropped()
+	cell.NoPathDrops = k.Dev.NoPathDrops()
 	if d := k.Degrader(p); d != nil {
 		cell.ShedP, cell.ShedI = d.ShedP, d.ShedI
 		cell.FinalLevel = d.Level()
@@ -331,8 +333,8 @@ func PrintE11(w io.Writer, res E11Result) {
 		cfg.WindowStart, cfg.WindowStart+cfg.WindowDur, cfg.Seed)
 	fprintf(w, "unloaded: %d/%d frames complete, util=%.2f, misses=%d\n\n",
 		res.Baseline.CompleteI+res.Baseline.CompleteP, frames, res.BaselineUtil, res.Baseline.Misses)
-	fprintf(w, "%-10s %-7s %-5s %9s %7s %7s %7s %7s %8s %6s %7s\n",
-		"OVERCOMMIT", "DEGRADE", "SRC", "COMPLETE", "I-OK", "SHED-P", "SHED-I", "DROPS", "MISSES", "LEVEL", "PROBES")
+	fprintf(w, "%-10s %-7s %-5s %9s %7s %7s %7s %7s %8s %6s %7s %7s\n",
+		"OVERCOMMIT", "DEGRADE", "SRC", "COMPLETE", "I-OK", "SHED-P", "SHED-I", "DROPS", "MISSES", "LEVEL", "PROBES", "NOPATH")
 	base := res.Baseline.CompleteRate()
 	row := func(c E11Cell) {
 		rel := 0.0
@@ -343,9 +345,9 @@ func PrintE11(w io.Writer, res E11Result) {
 		if !c.Live {
 			src = "vod"
 		}
-		fprintf(w, "%-10.1f %-7v %-5s %7.1f%% %7d %7d %7d %7d %8d %6d %7d\n",
+		fprintf(w, "%-10.1f %-7v %-5s %7.1f%% %7d %7d %7d %7d %8d %6d %7d %7d\n",
 			c.Overcommit, c.Degrade, src, 100*rel, c.CompleteI, c.ShedP, c.ShedI,
-			c.TailDrops, c.Misses, c.FinalLevel, c.Probes)
+			c.TailDrops, c.Misses, c.FinalLevel, c.Probes, c.NoPathDrops)
 		for _, v := range c.Audit {
 			fprintf(w, "  AUDIT VIOLATION: %s\n", v)
 		}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FlowGuard confines device-edge flow-cache state changes to the sim-event
+// control plane. The cache (core.FlowCache) is mutated with no locks because
+// every legal mutation site — classifier insert, rule application, binding
+// changes, ARP learning, path destroy hooks — runs inside the engine's
+// single-threaded event loop. Two things would break that discipline, and
+// both are flagged statically:
+//
+//   - mutation calls from packages outside the control plane (core, netdev,
+//     proto/*, appliance): experiments, hosts and tools must drive the cache
+//     through protocol operations, never poke it directly;
+//   - mutation calls inside a `go` statement anywhere: a spawned goroutine
+//     escapes the event loop and races every unlocked cache access.
+//
+// Reads (Lookup, Stats, Len) stay unrestricted — they are how experiments
+// and the tracing subsystem observe the cache.
+var FlowGuard = &Analyzer{
+	Name:       "flowguard",
+	Doc:        "flow-cache mutations only from control-plane packages, never from spawned goroutines",
+	NeedsTypes: true,
+	Run:        runFlowGuard,
+}
+
+// flowMutators maps receiver type name to its cache-state-changing methods.
+// Matching is by type and method name: the suite's stdlib-only loader cannot
+// resolve cross-package identity for testdata, and the names are unique in
+// this module.
+var flowMutators = map[string]map[string]bool{
+	"FlowCache": {"Insert": true, "InvalidatePath": true, "InvalidateAll": true},
+	"Graph":     {"RegisterFlowCache": true, "InvalidateFlows": true},
+}
+
+// flowControlPlane lists the package-path prefixes (relative to the module
+// root) that constitute the control plane.
+var flowControlPlane = []string{
+	"/internal/core",
+	"/internal/netdev",
+	"/internal/proto/",
+	"/internal/appliance",
+}
+
+func runFlowGuard(pass *Pass) {
+	allowed := false
+	for _, suffix := range flowControlPlane {
+		prefix := pass.Pkg.Mod.Path + suffix
+		if pass.Pkg.Path == strings.TrimSuffix(prefix, "/") || strings.HasPrefix(pass.Pkg.Path, prefix) {
+			allowed = true
+			break
+		}
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Files {
+		// Spans of every `go` statement: a call inside one runs on a fresh
+		// goroutine no matter how deeply nested the literal is.
+		var goSpans [][2]ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				goSpans = append(goSpans, [2]ast.Node{g, g})
+			}
+			return true
+		})
+		inGo := func(n ast.Node) bool {
+			for _, s := range goSpans {
+				if n.Pos() >= s[0].Pos() && n.End() <= s[1].End() {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, method, ok := flowMutatorCall(info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case inGo(call):
+				pass.Reportf(call.Pos(), "%s.%s inside a spawned goroutine races the engine's single-threaded event loop; mutate the flow cache from sim-event context only", recv, method)
+			case !allowed:
+				pass.Reportf(call.Pos(), "%s.%s outside the control plane (core, netdev, proto/*, appliance); drive cache state through protocol operations instead", recv, method)
+			}
+			return true
+		})
+	}
+}
+
+// flowMutatorCall reports whether call invokes a cache-mutating method,
+// returning the receiver type and method names.
+func flowMutatorCall(info *types.Info, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel || info == nil {
+		return "", "", false
+	}
+	tv, okType := info.Types[sel.X]
+	if !okType {
+		return "", "", false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	methods, isTracked := flowMutators[named.Obj().Name()]
+	if !isTracked || !methods[sel.Sel.Name] {
+		return "", "", false
+	}
+	return named.Obj().Name(), sel.Sel.Name, true
+}

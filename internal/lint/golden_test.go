@@ -85,6 +85,7 @@ func TestGolden(t *testing.T) {
 		{NoPanic, "testdata/nopanic", "scout/internal/fake"},
 		{LockSafe, "testdata/locksafe", "scout/internal/fake"},
 		{ErrCheck, "testdata/errchecklite", "scout/internal/fake"},
+		{FlowGuard, "testdata/flowguard", "scout/internal/fake"},
 	}
 	for _, tc := range cases {
 		name := tc.analyzer.Name + "/" + filepath.Base(tc.dir)
@@ -130,6 +131,17 @@ func TestAnalyzerScope(t *testing.T) {
 	mod = loadTestPackage(t, "testdata/attrkey", "scout/cmd/fake")
 	if diags := RunModule(mod, []*Analyzer{AttrKey}); len(diags) == 0 {
 		t.Fatal("attrkey is module-wide but reported nothing outside internal/")
+	}
+}
+
+// TestFlowGuardScope checks the control-plane allowance: relocated into
+// internal/core, the same file keeps only the spawned-goroutine finding —
+// that rule holds even inside the control plane.
+func TestFlowGuardScope(t *testing.T) {
+	mod := loadTestPackage(t, "testdata/flowguard", "scout/internal/core")
+	diags := RunModule(mod, []*Analyzer{FlowGuard})
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "spawned goroutine") {
+		t.Fatalf("want exactly the goroutine finding inside the control plane, got %v", diags)
 	}
 }
 

@@ -84,7 +84,7 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Simclock, AttrKey, NoPanic, LockSafe, ErrCheck}
+	return []*Analyzer{Simclock, AttrKey, NoPanic, LockSafe, ErrCheck, FlowGuard}
 }
 
 // ByName resolves a comma-separated analyzer list ("simclock,attrkey").

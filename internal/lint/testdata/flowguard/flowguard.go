@@ -1,0 +1,36 @@
+// Package fake exercises the flowguard analyzer: cache mutations from a
+// non-control-plane package, and from a spawned goroutine.
+package fake
+
+type Path struct{}
+
+type FlowCache struct{}
+
+func (f *FlowCache) Insert(k int, p *Path)      {}
+func (f *FlowCache) InvalidatePath(p *Path)     {}
+func (f *FlowCache) InvalidateAll()             {}
+func (f *FlowCache) Lookup(k int) (*Path, bool) { return nil, false }
+func (f *FlowCache) Len() int                   { return 0 }
+
+type Graph struct{}
+
+func (g *Graph) InvalidateFlows()               {}
+func (g *Graph) RegisterFlowCache(f *FlowCache) {}
+
+func outsideControlPlane(fc *FlowCache, g *Graph) {
+	fc.Insert(1, nil)       // want "outside the control plane"
+	fc.InvalidatePath(nil)  // want "outside the control plane"
+	fc.InvalidateAll()      // want "outside the control plane"
+	g.InvalidateFlows()     // want "outside the control plane"
+	g.RegisterFlowCache(fc) // want "outside the control plane"
+
+	// Reads are observation, not mutation: legal anywhere.
+	fc.Lookup(1)
+	_ = fc.Len()
+}
+
+func spawned(fc *FlowCache) {
+	go func() {
+		fc.InvalidateAll() // want "spawned goroutine"
+	}()
+}

@@ -229,10 +229,21 @@ func (p *Packet) Marshal() []byte {
 
 // ParsePacket deserializes a packet; Data aliases b.
 func ParsePacket(b []byte) (*Packet, error) {
-	if len(b) < PacketHeaderLen {
-		return nil, errors.New("mpeg: short packet")
+	p := new(Packet)
+	if err := ParsePacketInto(b, p); err != nil {
+		return nil, err
 	}
-	p := &Packet{
+	return p, nil
+}
+
+// ParsePacketInto deserializes a packet into caller-owned storage (Data
+// aliases b): the per-packet receive path reuses one scratch Packet per
+// stage instead of allocating. Validation is identical to ParsePacket.
+func ParsePacketInto(b []byte, p *Packet) error {
+	if len(b) < PacketHeaderLen {
+		return errors.New("mpeg: short packet")
+	}
+	*p = Packet{
 		FrameNo: binary.BigEndian.Uint32(b[0:4]),
 		Kind:    FrameKind(b[4]),
 		QScale:  b[5],
@@ -244,13 +255,13 @@ func ParsePacket(b []byte) (*Packet, error) {
 		Data:    b[PacketHeaderLen:],
 	}
 	if p.Kind != FrameI && p.Kind != FrameP {
-		return nil, fmt.Errorf("mpeg: bad frame kind %q", p.Kind)
+		return fmt.Errorf("mpeg: bad frame kind %q", p.Kind)
 	}
 	if p.QScale == 0 || p.MBW == 0 || p.MBH == 0 {
-		return nil, errors.New("mpeg: bad packet header")
+		return errors.New("mpeg: bad packet header")
 	}
 	if int(p.MBStart)+int(p.MBCount) > int(p.TotalMB) {
-		return nil, errors.New("mpeg: packet exceeds frame")
+		return errors.New("mpeg: packet exceeds frame")
 	}
-	return p, nil
+	return nil
 }

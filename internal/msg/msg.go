@@ -10,6 +10,7 @@ package msg
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -71,13 +72,107 @@ type Msg struct {
 	// Tag carries router-specific per-message context (e.g. the MPEG frame
 	// number a packet belongs to). It travels with the view, not the buffer.
 	Tag any
+
+	// Flat per-message routing metadata. The protocol stages used to box
+	// addresses and participant pairs into Tag, which heap-allocates on
+	// every packet (an interface value holding a [4]byte escapes); the flat
+	// fields below carry the same information allocation-free. They travel
+	// with the view like Tag; meta records which of them are valid.
+	netSrc, netDst         [4]byte
+	netSrcPort, netDstPort uint16
+	linkDst                [6]byte
+	meta                   uint8
+}
+
+// meta validity bits.
+const (
+	metaNetSrc uint8 = 1 << iota
+	metaNetDst
+	metaLinkDst
+)
+
+// SetNetSrc records the network-layer source of the message (IP stamps the
+// address on receive; UDP adds the port).
+func (m *Msg) SetNetSrc(addr [4]byte, port uint16) {
+	m.netSrc, m.netSrcPort = addr, port
+	m.meta |= metaNetSrc
+}
+
+// NetSrc reports the network-layer source, if one was recorded.
+func (m *Msg) NetSrc() (addr [4]byte, port uint16, ok bool) {
+	return m.netSrc, m.netSrcPort, m.meta&metaNetSrc != 0
+}
+
+// SetNetDst records the network-layer destination override for outbound
+// messages (wide paths route per message).
+func (m *Msg) SetNetDst(addr [4]byte, port uint16) {
+	m.netDst, m.netDstPort = addr, port
+	m.meta |= metaNetDst
+}
+
+// NetDst reports the network-layer destination override, if any.
+func (m *Msg) NetDst() (addr [4]byte, port uint16, ok bool) {
+	return m.netDst, m.netDstPort, m.meta&metaNetDst != 0
+}
+
+// SetLinkDst records the resolved link-layer destination for an outbound
+// frame (IP sets it after ARP resolution; ETH consumes it).
+func (m *Msg) SetLinkDst(mac [6]byte) {
+	m.linkDst = mac
+	m.meta |= metaLinkDst
+}
+
+// LinkDst reports the link-layer destination, if one was recorded.
+func (m *Msg) LinkDst() (mac [6]byte, ok bool) {
+	return m.linkDst, m.meta&metaLinkDst != 0
+}
+
+// ClearMeta invalidates all flat routing metadata (Tag is untouched).
+func (m *Msg) ClearMeta() { m.meta = 0 }
+
+// msgPool and refsPool recycle message views and their refcount cells for
+// pool-backed (fbuf) messages, whose lifecycle is explicit: the data path
+// cycles one view per packet, and without recycling those structs are the
+// last per-packet allocation left. Views over plain buffers (New,
+// NewWithHeadroom, FromBuffer with a nil pool) are not recycled — their
+// lifetime is not tied to a pool, so the GC owns them.
+var msgPool = sync.Pool{New: func() any { return new(Msg) }}
+var refsPool = sync.Pool{New: func() any { return new(atomic.Int32) }}
+
+// newView returns a view struct, recycled when pooled.
+func newView(pooled bool) *Msg {
+	if pooled {
+		return msgPool.Get().(*Msg)
+	}
+	return new(Msg)
+}
+
+// standalone packs a view and its refcount cell into one allocation for
+// messages the GC owns (no pool to recycle them into). The embedded cell
+// never enters refsPool: Free and detach return a cell to the free list
+// only when the message is pool-backed, and pool-backed cells always come
+// from refsPool.
+type standalone struct {
+	m    Msg
+	refs atomic.Int32
+}
+
+// newViewRefs returns a view struct and refcount cell, recycled when
+// pooled, combined in one allocation otherwise.
+func newViewRefs(pooled bool) (*Msg, *atomic.Int32) {
+	if pooled {
+		return msgPool.Get().(*Msg), refsPool.Get().(*atomic.Int32)
+	}
+	s := new(standalone)
+	return &s.m, &s.refs
 }
 
 // New wraps data in a message with no headroom. The message takes ownership
 // of data.
 func New(data []byte) *Msg {
-	m := &Msg{buf: data, off: 0, end: len(data), refs: new(atomic.Int32)}
-	m.refs.Store(1)
+	m, refs := newViewRefs(false)
+	*m = Msg{buf: data, off: 0, end: len(data), refs: refs}
+	refs.Store(1)
 	return m
 }
 
@@ -88,8 +183,9 @@ func NewWithHeadroom(headroom, size int) *Msg {
 		panic("msg: negative size")
 	}
 	buf := make([]byte, headroom+size)
-	m := &Msg{buf: buf, off: headroom, end: headroom + size, refs: new(atomic.Int32)}
-	m.refs.Store(1)
+	m, refs := newViewRefs(false)
+	*m = Msg{buf: buf, off: headroom, end: headroom + size, refs: refs}
+	refs.Store(1)
 	return m
 }
 
@@ -100,8 +196,10 @@ func FromBuffer(buf []byte, off, end int, pool Releaser) *Msg {
 	if off < 0 || end < off || end > len(buf) {
 		panic(fmt.Sprintf("msg: bad view [%d:%d) over %d bytes", off, end, len(buf)))
 	}
-	m := &Msg{buf: buf, off: off, end: end, refs: new(atomic.Int32), pool: pool}
-	m.refs.Store(1)
+	pooled := pool != nil
+	m, refs := newViewRefs(pooled)
+	*m = Msg{buf: buf, off: off, end: end, refs: refs, pool: pool}
+	refs.Store(1)
 	return m
 }
 
@@ -185,12 +283,9 @@ func (m *Msg) Split(n int) (*Msg, error) {
 	if n < 0 || n > m.Len() {
 		return nil, ErrShort
 	}
-	head := &Msg{
-		buf: m.buf, off: m.off, end: m.off + n,
-		refs: m.refs, pool: m.pool,
-		Arrival: m.Arrival, Trace: m.Trace,
-		TxStart: m.TxStart, TxEnd: m.TxEnd, Tag: m.Tag,
-	}
+	head := newView(m.pool != nil)
+	*head = *m
+	head.end = m.off + n
 	m.refs.Add(1)
 	m.off += n
 	return head, nil
@@ -201,12 +296,9 @@ func (m *Msg) Split(n int) (*Msg, error) {
 // shared.
 func (m *Msg) Clone() *Msg {
 	m.refs.Add(1)
-	return &Msg{
-		buf: m.buf, off: m.off, end: m.end,
-		refs: m.refs, pool: m.pool,
-		Arrival: m.Arrival, Trace: m.Trace,
-		TxStart: m.TxStart, TxEnd: m.TxEnd, Tag: m.Tag,
-	}
+	c := newView(m.pool != nil)
+	*c = *m
+	return c
 }
 
 // CopyOut returns a freshly allocated copy of the view, counting the copy.
@@ -234,16 +326,25 @@ func (m *Msg) CopyIn(data []byte) error {
 // Free drops this view's reference; when the last reference goes, the
 // backing buffer returns to its pool (if any). Using a Msg after Free is a
 // bug; Free is idempotent per view only in that double-free panics.
+//
+// Pool-backed views are recycled: when the final reference of an fbuf-backed
+// message goes, the view struct and refcount cell return to their free lists
+// along with the buffer, so the steady-state data path allocates nothing.
 func (m *Msg) Free() {
 	if m.refs == nil {
 		panic("msg: double free")
 	}
-	refs := m.refs
+	refs, pool, buf := m.refs, m.pool, m.buf
 	m.refs = nil
-	if refs.Add(-1) == 0 && m.pool != nil {
-		m.pool.Release(m.buf)
-	}
 	m.buf = nil
+	m.Tag = nil
+	m.meta = 0
+	if refs.Add(-1) == 0 && pool != nil {
+		pool.Release(buf)
+		refsPool.Put(refs)
+		m.pool = nil
+		msgPool.Put(m)
+	}
 }
 
 // detach gives m a private reference after its buffer was reallocated,
@@ -256,6 +357,7 @@ func (m *Msg) detach(oldBuf []byte) {
 	m.pool = nil
 	if oldRefs.Add(-1) == 0 && oldPool != nil {
 		oldPool.Release(oldBuf)
+		refsPool.Put(oldRefs)
 	}
 }
 

@@ -1,0 +1,81 @@
+package netdev
+
+import "scout/internal/core"
+
+// Header geometry for the flat extractor. The ETH/IP/UDP routers own the
+// real codecs; these offsets mirror them for the one case the fast path
+// handles (untagged Ethernet II carrying an unfragmented IPv4/UDP datagram).
+const (
+	ipHeaderOff  = ethHeaderLen      // 14
+	udpHeaderOff = ipHeaderOff + 20  // 34
+	flowKeyMin   = udpHeaderOff + 8  // 42: through the UDP header
+)
+
+// FlowKeyOf extracts the flow fingerprint of a raw Ethernet frame without
+// touching the heap. ok is false when the frame is not eligible for the
+// flow cache, in which case the caller must run the full demux walk.
+//
+// Eligibility re-checks, flatly, everything the demux chain would check
+// before reaching the UDP port table, so that two frames with the same key
+// are guaranteed to classify identically as long as the demux tables have
+// not changed (table changes invalidate the cache):
+//
+//   - destination MAC is this device or broadcast (eth.Classify's filter —
+//     it is NOT part of the key, so it must be checked here);
+//   - EtherType is IPv4, version/IHL is 0x45, the IP header checksum
+//     verifies, the datagram is unfragmented, the protocol is UDP (ip's
+//     classifier checks; the addresses and the frag decision feed the key
+//     or the eligibility bit);
+//   - the frame reaches through the UDP header (udp's classifier peeks it).
+//
+// The IP destination address needs no equality check against the host:
+// it is part of the key, and keys are only ever inserted after a full walk
+// accepted a frame with that exact destination.
+func FlowKeyOf(dev MAC, b []byte) (core.FlowKey, bool) {
+	if len(b) < flowKeyMin {
+		return core.FlowKey{}, false
+	}
+	if MAC(b[0:6]) != dev && MAC(b[0:6]) != Broadcast {
+		return core.FlowKey{}, false
+	}
+	etherType := uint16(b[12])<<8 | uint16(b[13])
+	if etherType != 0x0800 { // IPv4 only
+		return core.FlowKey{}, false
+	}
+	ih := b[ipHeaderOff:udpHeaderOff]
+	if ih[0] != 0x45 { // version 4, no options (the ip router's contract)
+		return core.FlowKey{}, false
+	}
+	if !ipv4HeaderOK(ih) {
+		return core.FlowKey{}, false
+	}
+	if ih[6]&0x3f != 0 || ih[7] != 0 { // MF set or fragment offset nonzero
+		return core.FlowKey{}, false
+	}
+	if ih[9] != 17 { // UDP
+		return core.FlowKey{}, false
+	}
+	k := core.FlowKey{
+		EtherType: etherType,
+		Proto:     ih[9],
+		Src:       [4]byte(ih[12:16]),
+		Dst:       [4]byte(ih[16:20]),
+		SrcPort:   uint16(b[udpHeaderOff])<<8 | uint16(b[udpHeaderOff+1]),
+		DstPort:   uint16(b[udpHeaderOff+2])<<8 | uint16(b[udpHeaderOff+3]),
+	}
+	return k, true
+}
+
+// ipv4HeaderOK verifies the RFC 1071 checksum over a 20-byte IPv4 header:
+// the one's-complement sum of a header containing its own checksum folds to
+// 0xffff exactly when the checksum verifies.
+func ipv4HeaderOK(h []byte) bool {
+	var sum uint32
+	for i := 0; i+1 < 20; i += 2 {
+		sum += uint32(h[i])<<8 | uint32(h[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return sum == 0xffff
+}

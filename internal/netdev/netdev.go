@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"scout/internal/core"
 	"scout/internal/msg"
 	"scout/internal/sched"
 	"scout/internal/sim"
@@ -204,8 +205,31 @@ type Device struct {
 	// transmitted frame.
 	TxCost time.Duration
 
+	// Flows is the device-edge flow cache (fingerprint → path). The ETH
+	// router creates and owns it; it lives on the device because the cache
+	// conceptually belongs to the NIC's classifier (§4.3: classification at
+	// interrupt time) and because pathtrace samples it from here.
+	Flows *core.FlowCache
+
+	// CoalesceRx batches frames that arrive at the same virtual instant
+	// into a single scheduler interrupt entry charging the summed IRQ cost
+	// — interrupt mitigation, opt-in per device. The per-frame handler
+	// still runs once per frame, in arrival order.
+	CoalesceRx bool
+	burst      []*msg.Msg
+	burstArmed bool
+
 	rx, tx, rxDropped int64
+	noPathDrops       int64
 }
+
+// NoteNoPath counts a frame whose classification found no path; the driver
+// discards such frames (§3.5) and before this counter did so silently.
+func (d *Device) NoteNoPath() { d.noPathDrops++ }
+
+// NoPathDrops reports how many frames were discarded because classification
+// found no path for them.
+func (d *Device) NoPathDrops() int64 { return d.noPathDrops }
 
 // NewDevice attaches a NIC with the given address to the link. cpu may be
 // nil, in which case receive handlers run without charging interrupt cost
@@ -239,10 +263,38 @@ func (d *Device) receive(m *msg.Msg) {
 		return
 	}
 	if d.cpu != nil {
+		if d.CoalesceRx {
+			// Batch same-instant arrivals into one interrupt entry: link
+			// deliveries for this instant are already queued ahead of the
+			// drain event (FIFO among same-time events), so the drain sees
+			// the whole burst.
+			d.burst = append(d.burst, m)
+			if !d.burstArmed {
+				d.burstArmed = true
+				d.eng.At(d.eng.Now(), d.drainBurst)
+			}
+			return
+		}
 		d.cpu.Interrupt(d.RxIRQCost, func() { d.OnReceive(m) })
 		return
 	}
 	d.OnReceive(m)
+}
+
+// drainBurst charges one interrupt entry for the accumulated burst and runs
+// the per-frame handler for each frame in arrival order. The handlers run
+// synchronously inside Interrupt, so the burst slice can be reclaimed for
+// the next batch without reallocating.
+func (d *Device) drainBurst() {
+	frames := d.burst
+	d.burstArmed = false
+	d.cpu.Interrupt(time.Duration(len(frames))*d.RxIRQCost, func() {
+		for i, m := range frames {
+			frames[i] = nil
+			d.OnReceive(m)
+		}
+	})
+	d.burst = frames[:0]
 }
 
 // Stats reports (frames received, transmitted, dropped for lack of a

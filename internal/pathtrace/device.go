@@ -1,0 +1,19 @@
+package pathtrace
+
+import "scout/internal/netdev"
+
+// SampleDevice condenses one NIC's fast-path counters into a DevSummary.
+// Device samplers (SetDeviceSampler) are usually built from this.
+func SampleDevice(name string, d *netdev.Device) DevSummary {
+	dv := DevSummary{Device: name, NoPathDrops: d.NoPathDrops()}
+	if fc := d.Flows; fc != nil {
+		st := fc.Stats()
+		dv.FlowEntries = fc.Len()
+		dv.FlowHits = st.Hits
+		dv.FlowMisses = st.Misses
+		dv.FlowInserts = st.Inserts
+		dv.FlowEvictions = st.Evictions
+		dv.FlowInvalidations = st.Invalidations
+	}
+	return dv
+}

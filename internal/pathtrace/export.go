@@ -125,7 +125,24 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 // MetricsDoc is the machine-readable metrics export; cmd/pathtop renders it.
 type MetricsDoc struct {
 	Paths      []PathMetrics `json:"paths"`
+	Devices    []DevSummary  `json:"devices,omitempty"`
 	EventsLost int64         `json:"eventsLost"`
+}
+
+// DevSummary is one device row: the NIC-edge fast-path counters. Hits bypass
+// the full demux walk; misses, inserts and evictions describe cache churn;
+// invalidations count entries dropped by control-plane changes (rule updates,
+// port bindings, ARP learns, path destroys); NoPathDrops are frames the
+// classifier rejected outright — previously discarded without a trace.
+type DevSummary struct {
+	Device            string `json:"device"`
+	NoPathDrops       int64  `json:"noPathDrops"`
+	FlowEntries       int    `json:"flowEntries"`
+	FlowHits          int64  `json:"flowHits"`
+	FlowMisses        int64  `json:"flowMisses"`
+	FlowInserts       int64  `json:"flowInserts"`
+	FlowEvictions     int64  `json:"flowEvictions"`
+	FlowInvalidations int64  `json:"flowInvalidations"`
 }
 
 // PathMetrics is the exportable aggregate of one instrumented path.
@@ -235,6 +252,9 @@ func (t *Tracer) MetricsDoc() MetricsDoc {
 		}
 		doc.Paths = append(doc.Paths, pm)
 	}
+	if t.devSampler != nil {
+		doc.Devices = t.devSampler()
+	}
 	return doc
 }
 
@@ -300,6 +320,12 @@ func RenderMetrics(w io.Writer, doc MetricsDoc, sortBy string) {
 				ns(qm.Wait.P50Ns), ns(qm.Wait.P95Ns), ns(qm.Wait.MaxNs))
 		}
 		pf("\n")
+	}
+	for _, dv := range doc.Devices {
+		pf("device %s\n", dv.Device)
+		pf("  flow-cache: %d entries, %d hits / %d misses (%d inserts, %d evictions, %d invalidations)\n",
+			dv.FlowEntries, dv.FlowHits, dv.FlowMisses, dv.FlowInserts, dv.FlowEvictions, dv.FlowInvalidations)
+		pf("  no-path drops: %d\n\n", dv.NoPathDrops)
 	}
 	if doc.EventsLost > 0 {
 		pf("(%d events lost to the buffer cap; metrics above are complete)\n", doc.EventsLost)

@@ -159,6 +159,18 @@ type Tracer struct {
 	paths map[int64]*PathInfo
 	order []*PathInfo
 	stack []openSpan
+
+	devSampler func() []DevSummary
+}
+
+// SetDeviceSampler installs the function MetricsDoc uses to snapshot
+// device-edge counters: flow-cache hit/miss/insert/eviction/invalidation
+// totals and no-path discards. The appliance installs one over its NICs;
+// without one the metrics document simply has no device section.
+func (t *Tracer) SetDeviceSampler(fn func() []DevSummary) {
+	if t != nil {
+		t.devSampler = fn
+	}
 }
 
 // New returns a disabled tracer on eng; call SetEnabled(true) before

@@ -166,7 +166,8 @@ func (a *Impl) CreateStage(r *core.Router, enter int, at *attr.Attrs) (*core.Sta
 		a.process(m)
 		return nil
 	}))
-	// Outbound: nothing to add; ETH builds the frame from the Tag MAC.
+	// Outbound: nothing to add; ETH builds the frame from the message's
+	// link destination.
 	s.SetIface(core.FWD, core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
 		return i.DeliverNext(m)
 	}))
@@ -213,6 +214,10 @@ func (a *Impl) process(m *msg.Msg) {
 
 func (a *Impl) learn(ip inet.Addr, mac netdev.MAC) {
 	a.cache[ip] = mac
+	// A resolution update is a control-plane change: conservatively drop
+	// cached flow classifications so no path keeps receiving traffic on the
+	// strength of a mapping that just changed (§fast path invalidation).
+	a.router.Graph.InvalidateFlows()
 	if res, ok := a.pending[ip]; ok {
 		delete(a.pending, ip)
 		if res.timer != nil {
@@ -227,7 +232,7 @@ func (a *Impl) learn(ip inet.Addr, mac netdev.MAC) {
 func (a *Impl) send(p packet, dst netdev.MAC) {
 	out := msg.NewWithHeadroom(eth.HeaderLen, packetLen)
 	p.put(out.Bytes())
-	out.Tag = dst
+	out.SetLinkDst([6]byte(dst))
 	if err := a.path.Inject(core.FWD, out); err != nil {
 		out.Free()
 	}

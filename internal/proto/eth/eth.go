@@ -54,6 +54,9 @@ type Stats struct {
 	TxFrames    int64
 }
 
+// DefaultFlowCacheCap is the flow-cache bound used when FlowCacheCap is 0.
+const DefaultFlowCacheCap = 256
+
 // Impl is the ETH router implementation. One instance drives one netdev
 // device.
 type Impl struct {
@@ -63,6 +66,11 @@ type Impl struct {
 	// PerFrameCost is the protocol processing cost charged to a path
 	// execution when its ETH stage handles a frame.
 	PerFrameCost time.Duration
+
+	// FlowCacheCap bounds the device-edge flow cache created at Init:
+	// 0 selects DefaultFlowCacheCap, negative disables the cache (every
+	// frame then pays the full demux walk). Set before graph Build.
+	FlowCacheCap int
 
 	byType map[uint16]func(m *msg.Msg) (*core.Path, error)
 	stats  Stats
@@ -79,10 +87,20 @@ func (e *Impl) Services() []core.ServiceSpec {
 	return []core.ServiceSpec{{Name: "up", Type: core.NetServiceType}}
 }
 
-// Init installs the receive classifier on the device.
+// Init installs the receive classifier on the device and creates the
+// device-edge flow cache (unless FlowCacheCap is negative), registering it
+// with the graph so control-plane changes invalidate it.
 func (e *Impl) Init(r *core.Router) error {
 	e.router = r
 	e.dev.OnReceive = e.receive
+	if e.FlowCacheCap >= 0 {
+		cap := e.FlowCacheCap
+		if cap == 0 {
+			cap = DefaultFlowCacheCap
+		}
+		e.dev.Flows = core.NewFlowCache(cap)
+		r.Graph.RegisterFlowCache(e.dev.Flows)
+	}
 	return nil
 }
 
@@ -117,6 +135,9 @@ func (e *Impl) receive(m *msg.Msg) {
 	p, err := e.Classify(m)
 	if err != nil {
 		e.stats.RxNoPath++
+		if errors.Is(err, core.ErrNoPath) {
+			e.dev.NoteNoPath()
+		}
 		m.Free()
 		return
 	}
@@ -134,7 +155,32 @@ func (e *Impl) receive(m *msg.Msg) {
 // Classify maps a raw frame to a path. It leaves the message untouched
 // (headers are popped during classification and pushed back afterwards, so
 // the path's execution sees the whole frame).
+//
+// Frames whose flow fingerprint is extractable consult the device-edge flow
+// cache first: a hit short-circuits the whole router chain in O(1); a miss
+// runs the full walk and records the result. Ineligible frames (ARP,
+// fragments, non-UDP, failed header checksum, ...) always take the full
+// walk and are never cached.
 func (e *Impl) Classify(m *msg.Msg) (*core.Path, error) {
+	if fc := e.dev.Flows; fc != nil {
+		if key, ok := netdev.FlowKeyOf(e.dev.Addr, m.Bytes()); ok {
+			if p, hit := fc.Lookup(key); hit {
+				return p, nil
+			}
+			p, err := e.ClassifyUncached(m)
+			if err == nil {
+				fc.Insert(key, p)
+			}
+			return p, err
+		}
+	}
+	return e.ClassifyUncached(m)
+}
+
+// ClassifyUncached runs the full hop-by-hop classification walk, bypassing
+// (and never populating) the flow cache. The differential fast-path tests
+// and the cold-miss benchmark use it as the reference classifier.
+func (e *Impl) ClassifyUncached(m *msg.Msg) (*core.Path, error) {
 	hdr, err := m.Peek(HeaderLen)
 	if err != nil {
 		return nil, err
@@ -183,8 +229,12 @@ func (e *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 	out := core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
 		p := i.Path()
 		p.ChargeExec(e.PerFrameCost)
-		dst, ok := m.Tag.(netdev.MAC)
-		if !ok {
+		var dst netdev.MAC
+		if d, have := m.LinkDst(); have {
+			dst = d
+		} else if d, ok := m.Tag.(netdev.MAC); ok {
+			dst = d
+		} else {
 			v, have := p.Attrs.Get(inet.AttrEthDst)
 			if !have {
 				m.Free()
@@ -216,5 +266,19 @@ func (e *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 
 	s.SetIface(core.FWD, out)
 	s.SetIface(core.BWD, in)
+	// Fusion: the inbound re-Parse after a successful Pop is provably
+	// redundant (Parse only fails on frames shorter than HeaderLen, which
+	// Pop already rejects), so the fused inbound is pop-and-go with the
+	// identical charge and error behaviour.
+	s.Fuse = func(st *core.Stage) {
+		in.Deliver = func(i *core.NetIface, m *msg.Msg) error {
+			i.Path().ChargeExec(e.PerFrameCost)
+			if _, err := m.Pop(HeaderLen); err != nil {
+				m.Free()
+				return err
+			}
+			return i.DeliverNext(m)
+		}
+	}
 	return s, nil, nil // leaf router: path creation ends here
 }

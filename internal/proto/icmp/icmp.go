@@ -150,7 +150,12 @@ func (c *Impl) Demux(r *core.Router, enter int, m *msg.Msg) (*core.Path, error) 
 
 // process answers echo requests.
 func (c *Impl) process(i *core.NetIface, m *msg.Msg) {
-	src, _ := m.Tag.(inet.Addr) // stamped by the IP stage
+	var src inet.Addr
+	if a, _, ok := m.NetSrc(); ok { // stamped by the IP stage
+		src = inet.Addr(a)
+	} else {
+		src, _ = m.Tag.(inet.Addr)
+	}
 	defer m.Free()
 	raw := m.Bytes()
 	e, err := Parse(raw)
@@ -163,7 +168,7 @@ func (c *Impl) process(i *core.NetIface, m *msg.Msg) {
 	rb := reply.Bytes()
 	copy(rb[HeaderLen:], payload)
 	Echo{Type: TypeEchoReply, ID: e.ID, Seq: e.Seq}.Put(rb[:HeaderLen], rb[HeaderLen:])
-	reply.Tag = src // per-packet destination for the wide IP stage
+	reply.SetNetDst([4]byte(src), 0) // per-packet destination for the wide IP stage
 	c.replies++
 	if err := c.path.Inject(core.FWD, reply); err != nil {
 		reply.Free()

@@ -82,15 +82,30 @@ func Checksum(b []byte) uint16 {
 }
 
 // ChecksumPseudo computes the checksum of payload prefixed by the UDP/TCP
-// pseudo-header.
+// pseudo-header. The one's-complement sum is commutative and associative, so
+// the pseudo-header words are folded in directly instead of materializing a
+// prefixed copy of the payload — this runs once per checksummed packet on
+// the data path and must not allocate.
 func ChecksumPseudo(src, dst Addr, proto uint8, payload []byte) uint16 {
-	ph := make([]byte, 12, 12+len(payload)+1)
-	copy(ph[0:4], src[:])
-	copy(ph[4:8], dst[:])
-	ph[9] = proto
-	binary.BigEndian.PutUint16(ph[10:12], uint16(len(payload)))
-	ph = append(ph, payload...)
-	return Checksum(ph)
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto) // zero byte then proto, as on the wire
+	sum += uint32(uint16(len(payload)))
+	b := payload
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
 }
 
 // Attribute names used by the networking routers beyond the paper-named

@@ -312,9 +312,16 @@ func (p *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 		return sd.output(i, m)
 	})
 	s.SetIface(core.FWD, sd.fwd)
-	s.SetIface(core.BWD, core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
+	in := core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
 		return sd.input(i, m)
-	}))
+	})
+	s.SetIface(core.BWD, in)
+	// Fusion contract: see inputFused.
+	s.Fuse = func(st *core.Stage) {
+		in.Deliver = func(i *core.NetIface, m *msg.Msg) error {
+			return sd.inputFused(i, m)
+		}
+	}
 
 	s.Establish = func(s *core.Stage, a *attr.Attrs) error {
 		if sd.nextHop == (inet.Addr{}) {
@@ -376,7 +383,9 @@ func (sd *ipStage) output(i *core.NetIface, m *msg.Msg) error {
 	path.ChargeExec(p.PerPacketCost)
 
 	dst := sd.remote
-	if a, ok := m.Tag.(inet.Addr); ok {
+	if a, _, ok := m.NetDst(); ok {
+		dst = inet.Addr(a)
+	} else if a, ok := m.Tag.(inet.Addr); ok {
 		dst = a
 	}
 	if dst == (inet.Addr{}) {
@@ -414,7 +423,7 @@ func (sd *ipStage) output(i *core.NetIface, m *msg.Msg) error {
 					keep.Free()
 					return
 				}
-				keep.Tag = dst // re-delivery takes the per-packet branch again
+				keep.SetNetDst([4]byte(dst), 0) // re-delivery takes the per-packet branch again
 				if err := sd.fwd.Deliver(sd.fwd, keep); err != nil {
 					// Deliver frees on error paths.
 					_ = err
@@ -440,7 +449,7 @@ func (sd *ipStage) transmit(i *core.NetIface, m *msg.Msg, dst inet.Addr, mac net
 	if m.Len() <= netdev.MTU-HeaderLen {
 		h := Header{TotalLen: uint16(HeaderLen + m.Len()), ID: id, TTL: 64, Proto: sd.proto, Src: p.cfg.Addr, Dst: dst}
 		h.Put(m.Push(HeaderLen))
-		m.Tag = mac
+		m.SetLinkDst([6]byte(mac))
 		p.stats.Sent++
 		return i.DeliverNext(m)
 	}
@@ -465,7 +474,7 @@ func (sd *ipStage) transmit(i *core.NetIface, m *msg.Msg, dst inet.Addr, mac net
 		}
 		h := Header{TotalLen: uint16(HeaderLen + n), ID: id, MF: mf, FragOff: off, TTL: 64, Proto: sd.proto, Src: p.cfg.Addr, Dst: dst}
 		h.Put(frag.Push(HeaderLen))
-		frag.Tag = mac
+		frag.SetLinkDst([6]byte(mac))
 		p.stats.Sent++
 		p.stats.FragmentsSent++
 		path.ChargeExec(p.PerPacketCost) // each fragment costs header work
@@ -508,7 +517,36 @@ func (sd *ipStage) input(i *core.NetIface, m *msg.Msg) error {
 	}
 	p.stats.Received++
 	// Make the datagram's source available to stages above (wildcard UDP
-	// ports and SHELL need it to identify the requester).
-	m.Tag = h.Src
+	// ports and SHELL need it to identify the requester) without boxing it
+	// into the Tag interface, which would heap-allocate per packet.
+	m.SetNetSrc([4]byte(h.Src), 0)
+	return i.DeliverNext(m)
+}
+
+// inputFused is the fused variant of input. Every datagram a device delivers
+// to this stage already passed the classifier — the full walk (Parse: version,
+// IHL, header checksum; destination equality; fragment test) or the flow-cache
+// extractor, which re-checks the same invariants flatly — so re-validating
+// here is provably redundant. The fused input re-reads only what it consumes:
+// the total length for the padding trim and the source address for stages
+// above. Costs, counters, delivered bytes and error behaviour are identical
+// for every frame the classifier can deliver.
+func (sd *ipStage) inputFused(i *core.NetIface, m *msg.Msg) error {
+	p := sd.impl
+	i.Path().ChargeExec(p.PerPacketCost)
+	raw, err := m.Pop(HeaderLen)
+	if err != nil {
+		p.stats.BadHeader++
+		m.Free()
+		return err
+	}
+	if payload := int(binary.BigEndian.Uint16(raw[2:4])) - HeaderLen; payload < m.Len() {
+		if err := m.Truncate(payload); err != nil {
+			m.Free()
+			return err
+		}
+	}
+	p.stats.Received++
+	m.SetNetSrc([4]byte(raw[12:16]), 0)
 	return i.DeliverNext(m)
 }

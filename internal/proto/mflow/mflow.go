@@ -23,6 +23,7 @@ import (
 
 	"scout/internal/attr"
 	"scout/internal/core"
+	"scout/internal/fbuf"
 	"scout/internal/msg"
 	"scout/internal/sim"
 )
@@ -108,6 +109,12 @@ type Impl struct {
 	RTOMin, RTOMax time.Duration
 	// MaxTries caps transmissions per packet before the sender gives up.
 	MaxTries int
+
+	// ackPool recycles the fixed-size ack buffers: acks are the one message
+	// the receive data path originates (one per AckEvery data packets), so
+	// allocating them fresh would break the zero-alloc steady state. Header
+	// Put writes all HeaderLen bytes, so dirty reuse is safe.
+	ackPool *fbuf.Pool
 }
 
 // New returns an MFLOW router.
@@ -130,6 +137,7 @@ func New(eng *sim.Engine) *Impl {
 		RTOMin:      50 * time.Millisecond,
 		RTOMax:      500 * time.Millisecond,
 		MaxTries:    8,
+		ackPool:     fbuf.NewPool(HeaderLen, 64, 4, 0),
 	}
 }
 
@@ -508,7 +516,10 @@ func (fs *flowState) sendAck(i *core.NetIface) {
 			win = capped
 		}
 	}
-	ack := msg.NewWithHeadroom(64, HeaderLen)
+	ack, err := fs.impl.ackPool.Get(HeaderLen)
+	if err != nil { // unlimited pool: only reachable if a limit is set later
+		ack = msg.NewWithHeadroom(64, HeaderLen)
+	}
 	Header{Kind: KindAck, Seq: fs.cumSeq, Win: win, TS: fs.lastTS}.Put(ack.Bytes())
 	fs.stats.AcksSent++
 	if err := i.DeliverBack(ack); err != nil {

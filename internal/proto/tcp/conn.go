@@ -287,7 +287,12 @@ func (c *conn) input(i *core.NetIface, m *msg.Msg) error {
 	p.ChargeExec(t.PerSegCost)
 	full := m.Bytes()
 	p.ChargeExec(time.Duration(len(full)) * t.CostPerByte)
-	src, _ := m.Tag.(inet.Addr)
+	var src inet.Addr
+	if a, _, ok := m.NetSrc(); ok { // stamped by the IP stage
+		src = inet.Addr(a)
+	} else {
+		src, _ = m.Tag.(inet.Addr)
+	}
 	if inet.ChecksumPseudo(src, t.ipImpl.Addr(), inet.ProtoTCP, full) != 0 {
 		t.stats.BadChecksum++
 		m.Free()

@@ -207,6 +207,10 @@ func (u *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 			}
 			u.wildcard[sd.lport] = s.Path
 		}
+		// The demux decision just changed: a new exact binding shadows any
+		// wildcard match the flow cache may have recorded for the same
+		// 5-tuple, so cached classifications are no longer trustworthy.
+		u.router.Graph.InvalidateFlows()
 		return nil
 	}
 	s.Destroy = func(s *core.Stage) {
@@ -215,6 +219,9 @@ func (u *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 		} else {
 			delete(u.wildcard, sd.lport)
 		}
+		// Removing an exact binding may expose a wildcard for the same
+		// port; drop cached decisions rather than serve stale ones.
+		u.router.Graph.InvalidateFlows()
 	}
 
 	a.Set(attr.ProtID, inet.ProtoUDP)
@@ -247,13 +254,15 @@ func (sd *udpStage) output(i *core.NetIface, m *msg.Msg) error {
 	dest := sd.remote
 	if !sd.hasRem {
 		// Wide paths (SHELL) carry the per-datagram destination in the
-		// message Tag.
-		part, ok := m.Tag.(inet.Participants)
-		if !ok {
+		// message's flat metadata (or, for older producers, the Tag).
+		if a, port, ok := m.NetDst(); ok {
+			dest = inet.Participants{RemoteAddr: inet.Addr(a), RemotePort: port}
+		} else if part, ok := m.Tag.(inet.Participants); ok {
+			dest = part
+		} else {
 			m.Free()
 			return errors.New("udp: path has no remote participants to send to")
 		}
-		dest = part
 	}
 	h := Header{
 		SrcPort: sd.lport,
@@ -270,8 +279,8 @@ func (sd *udpStage) output(i *core.NetIface, m *msg.Msg) error {
 		binary.BigEndian.PutUint16(m.Bytes()[6:8], ck)
 	}
 	u.stats.Sent++
-	// Hand the per-datagram destination down to the IP stage.
-	m.Tag = dest.RemoteAddr
+	// Hand the per-datagram destination down to the IP stage, flat.
+	m.SetNetDst([4]byte(dest.RemoteAddr), dest.RemotePort)
 	return i.DeliverNext(m)
 }
 
@@ -293,7 +302,9 @@ func (sd *udpStage) input(i *core.NetIface, m *msg.Msg) error {
 	}
 	src := sd.remote.RemoteAddr
 	if !sd.hasRem {
-		if a, ok := m.Tag.(inet.Addr); ok {
+		if a, _, ok := m.NetSrc(); ok {
+			src = inet.Addr(a)
+		} else if a, ok := m.Tag.(inet.Addr); ok {
 			src = a
 		}
 	}
@@ -310,8 +321,9 @@ func (sd *udpStage) input(i *core.NetIface, m *msg.Msg) error {
 		return err
 	}
 	u.stats.Received++
-	// Identify the datagram's sender to the stages above.
-	m.Tag = inet.Participants{RemoteAddr: src, RemotePort: h.SrcPort}
+	// Identify the datagram's sender to the stages above, flat: boxing a
+	// Participants value into Tag would heap-allocate on every packet.
+	m.SetNetSrc([4]byte(src), h.SrcPort)
 	return i.DeliverNext(m)
 }
 

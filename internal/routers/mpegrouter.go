@@ -68,6 +68,9 @@ type mpegStage struct {
 	hdrDec   *mpeg.HeaderDecoder
 	frameSeq int
 	bitsAcc  int // encoded bits since the last completed frame
+	// scratch is reused by input for every parsed packet (neither decoder
+	// retains the pointer past its call), keeping parse off the heap.
+	scratch mpeg.Packet
 
 	// Stats
 	Packets int64
@@ -161,8 +164,8 @@ func (sd *mpegStage) input(i *core.NetIface, m *msg.Msg) error {
 	p := i.Path()
 	sd.Packets++
 	p.ChargeExec(mp.Model.PerPacket)
-	pkt, err := mpeg.ParsePacket(m.Bytes())
-	if err != nil {
+	pkt := &sd.scratch
+	if err := mpeg.ParsePacketInto(m.Bytes(), pkt); err != nil {
 		sd.Errors++
 		m.Free()
 		return err

@@ -107,13 +107,18 @@ func (sh *ShellImpl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*cor
 
 // handle processes one inbound command datagram and replies to the sender.
 func (sh *ShellImpl) handle(m *msg.Msg) {
-	from, _ := m.Tag.(inet.Participants) // stamped by the UDP stage
+	var from inet.Participants
+	if a, port, ok := m.NetSrc(); ok { // stamped by the UDP stage
+		from = inet.Participants{RemoteAddr: inet.Addr(a), RemotePort: port}
+	} else {
+		from, _ = m.Tag.(inet.Participants)
+	}
 	cmd := string(m.Bytes())
 	m.Free()
 	reply := sh.Execute(cmd, from)
 	out := msg.NewWithHeadroom(80, len(reply))
 	copy(out.Bytes(), reply)
-	out.Tag = from
+	out.SetNetDst([4]byte(from.RemoteAddr), from.RemotePort)
 	if err := sh.path.Inject(core.FWD, out); err != nil {
 		out.Free()
 	}
