@@ -14,7 +14,7 @@ BENCHCOUNT ?= 3
 BENCHOUT ?= BENCH_pr5.json
 BENCHBASE ?= BENCH_pr3.json
 
-.PHONY: check build vet test race lint bench benchdiff benchsmoke tracegate chaosgate
+.PHONY: check build vet test race lint lintgraph bench benchdiff benchsmoke tracegate chaosgate
 
 check: build vet test race lint
 
@@ -30,8 +30,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# lint runs the full 12-analyzer suite with per-analyzer wall time on
+# stderr, so a slow analyzer is visible the day it regresses.
 lint:
-	$(GO) run ./cmd/scoutlint ./...
+	$(GO) run ./cmd/scoutlint -timing ./...
+
+# lintgraph dumps the data-path call graph (roots + resolved edges) in its
+# stable text form; CI uploads it as an artifact so reviewers can diff how
+# the data-path surface changed.
+LINTGRAPH ?= callgraph.txt
+lintgraph:
+	$(GO) run ./cmd/scoutlint -graph $(LINTGRAPH) ./...
 
 # bench emits the machine-readable perf trajectory: raw `go test -bench`
 # output is kept in BENCH_raw.txt and parsed into $(BENCHOUT) by

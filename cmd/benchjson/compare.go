@@ -141,7 +141,12 @@ func compare(w io.Writer, basePath, newPath string) int {
 			}
 		}
 	}
+	baseNames := make([]string, 0, len(byName))
 	for name := range byName {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
 		if _, still := candByName[name]; !still {
 			fail("%s present in base but missing from new (coverage lost)", name)
 		}

@@ -9,9 +9,11 @@
 //	go run ./cmd/scoutlint ./...
 //
 // Findings print as "file:line: [rule] message" and make the exit status
-// nonzero. Suppressions live in .scoutlint-allow at the module root; stale
-// suppressions (matching nothing) are themselves an error so the file stays
-// an honest record.
+// nonzero; -why adds the data-path call chain that makes an interprocedural
+// finding reachable. Suppressions live in .scoutlint-allow at the module
+// root; stale suppressions (matching nothing) and entries naming unknown
+// rules are themselves errors so the file stays an honest record. -graph
+// dumps the shared data-path call graph in a stable text form.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"scout/internal/lint"
 )
@@ -29,9 +32,12 @@ func main() {
 
 func run() int {
 	var (
-		allowFlag = flag.String("allow", "", "allowlist file (default <module root>/.scoutlint-allow)")
-		rulesFlag = flag.String("rules", "", "comma-separated analyzer subset (default: all)")
-		listFlag  = flag.Bool("list", false, "list analyzers and exit")
+		allowFlag  = flag.String("allow", "", "allowlist file (default <module root>/.scoutlint-allow)")
+		rulesFlag  = flag.String("rules", "", "comma-separated analyzer subset (default: all)")
+		listFlag   = flag.Bool("list", false, "list analyzers and exit")
+		whyFlag    = flag.Bool("why", false, "print the data-path call chain under each interprocedural finding")
+		graphFlag  = flag.String("graph", "", "dump the data-path call graph to the given file ('-' for stdout) and exit")
+		timingFlag = flag.Bool("timing", false, "print per-analyzer wall time")
 	)
 	flag.Parse()
 
@@ -71,6 +77,13 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "scoutlint:", err)
 		return 2
 	}
+	if unknown := allow.UnknownRules(lint.All()); len(unknown) > 0 {
+		for _, e := range unknown {
+			fmt.Fprintf(os.Stderr, "scoutlint: allowlist entry %s:%d names unknown rule %q; fix or delete it\n",
+				allowPath, e.Line, e.Rule)
+		}
+		return 1
+	}
 
 	mod, err := lint.Load(root)
 	if err != nil {
@@ -83,10 +96,40 @@ func run() int {
 		}
 	}
 
-	diags := lint.RunModule(mod, analyzers)
+	if *graphFlag != "" {
+		out := os.Stdout
+		if *graphFlag != "-" {
+			f, err := os.Create(*graphFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scoutlint:", err)
+				return 2
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := mod.Graph().Dump(out); err != nil {
+			fmt.Fprintln(os.Stderr, "scoutlint:", err)
+			return 2
+		}
+		return 0
+	}
+
+	var now func() time.Time
+	if *timingFlag {
+		now = time.Now
+	}
+	diags, timings := lint.RunModuleTimed(mod, analyzers, now)
 	kept := allow.Filter(diags)
 	for _, d := range kept {
 		fmt.Println(d.String())
+		if *whyFlag {
+			for _, frame := range d.Chain {
+				fmt.Printf("    %s\n", frame)
+			}
+		}
+	}
+	for _, t := range timings {
+		fmt.Fprintf(os.Stderr, "scoutlint: timing %-14s %8.1fms\n", t.Name, float64(t.Elapsed.Microseconds())/1000)
 	}
 	bad := len(kept) > 0
 	if *rulesFlag == "" { // staleness is only meaningful with the full suite

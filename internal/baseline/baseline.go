@@ -479,6 +479,8 @@ func (p *Proc) decode(alf []byte) (time.Duration, []*display.Frame) {
 			done = &display.Frame{Seq: int(tf.No), W: int(pkt.MBW) * 16, H: int(pkt.MBH) * 16, Bits: tf.Bits}
 		}
 	} else {
+		// A decode error just means no frame completed this packet; the
+		// baseline charges the same cost either way and moves on.
 		f, _ := p.dec.Decode(pkt)
 		if f != nil {
 			done = &display.Frame{Seq: int(p.Frames), W: f.W, H: f.H}

@@ -126,12 +126,12 @@ func (fc *FlowCache) evictOldest() {
 			return
 		}
 	}
-	// order exhausted but entries non-empty should be impossible; clear
-	// defensively rather than loop forever.
+	// order exhausted but entries non-empty should be impossible; clear the
+	// whole map defensively rather than loop forever (dropping everything is
+	// deterministic; dropping one arbitrary entry would not be).
 	for k := range fc.entries {
 		delete(fc.entries, k)
 		fc.stats.Evictions++
-		return
 	}
 }
 

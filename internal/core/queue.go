@@ -56,6 +56,8 @@ type Queue struct {
 }
 
 // NewQueue returns a queue holding at most max items; max must be positive.
+//
+//scout:assert a non-positive capacity is a path-creation bug, not runtime input
 func NewQueue(max int) *Queue {
 	if max <= 0 {
 		panic("core: queue max must be positive")

@@ -70,6 +70,8 @@ type Router struct {
 
 // ServiceIndex resolves a service name to its index; it panics on unknown
 // names because that is always a programming error in graph construction.
+//
+//scout:assert unknown service names come from wiring code, never from packets
 func (r *Router) ServiceIndex(name string) int {
 	for i, s := range r.services {
 		if s.Name == name {

@@ -103,6 +103,8 @@ func New(eng *sim.Engine, cpu *sched.Sched, w, h, hz int) *Device {
 // Attach registers a stream. period is the frame interval the stream is
 // being played at; total is the expected frame count (0 for unbounded). The
 // first frame falls due one period after attach.
+//
+//scout:assert a non-positive period is a stream-setup bug, not runtime input
 func (d *Device) Attach(name string, q *core.Queue, period time.Duration, total int) *Sink {
 	if period <= 0 {
 		panic("display: sink period must be positive")

@@ -122,3 +122,20 @@ func (al *Allowlist) Stale() []*AllowEntry {
 	}
 	return stale
 }
+
+// UnknownRules returns entries whose rule names no analyzer in the suite
+// (and is not "*"): typos that would otherwise sit in the file forever,
+// silently suppressing nothing — or, worse, something after a rename.
+func (al *Allowlist) UnknownRules(analyzers []*Analyzer) []*AllowEntry {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var unknown []*AllowEntry
+	for _, e := range al.Entries {
+		if e.Rule != "*" && !known[e.Rule] {
+			unknown = append(unknown, e)
+		}
+	}
+	return unknown
+}

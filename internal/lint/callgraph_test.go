@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// graphFor loads the synthetic callgraph fixture and builds its graph.
+func graphFor(t *testing.T) *CallGraph {
+	t.Helper()
+	mod := loadTestPackage(t, "testdata/callgraph", "scout/internal/fake")
+	return mod.Graph()
+}
+
+func edgeBetween(g *CallGraph, from, to string) (GraphEdge, bool) {
+	n := g.NodeByName(from)
+	if n == nil {
+		return GraphEdge{}, false
+	}
+	for _, e := range n.Edges {
+		if e.To.Name == to {
+			return e, true
+		}
+	}
+	return GraphEdge{}, false
+}
+
+func TestCallGraphRoots(t *testing.T) {
+	g := graphFor(t)
+	wantRoots := map[string]string{
+		"fake.Inject": "delivery entry point (name)",
+		"fake.rx":     "assigned to data-path field OnReceive",
+		"fake.tick":   "arg to Interrupt",
+	}
+	for name, why := range wantRoots {
+		n := g.NodeByName(name)
+		if n == nil {
+			t.Fatalf("node %s missing from graph", name)
+		}
+		if n.RootWhy != why {
+			t.Errorf("%s: RootWhy = %q, want %q", name, n.RootWhy, why)
+		}
+	}
+	for _, name := range []string{"fake.isolated", "fake.wire", "fake.boot"} {
+		n := g.NodeByName(name)
+		if n == nil {
+			t.Fatalf("node %s missing from graph", name)
+		}
+		if n.RootWhy != "" {
+			t.Errorf("%s unexpectedly a root: %q", name, n.RootWhy)
+		}
+	}
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	g := graphFor(t)
+	cases := []struct {
+		from, to string
+		kind     GraphEdgeKind
+	}{
+		{"fake.Inject", "fake.step", EdgeStatic},
+		{"fake.step", "fake.sink", EdgeStatic},
+		// Interface dispatch is conservative: every module type implementing
+		// handler gets an edge.
+		{"fake.Inject", "fake.(*alpha).Handle", EdgeIface},
+		{"fake.Inject", "fake.(*beta).Handle", EdgeIface},
+		// The method value flows through call's parameter f.
+		{"fake.call", "fake.(*alpha).Handle", EdgeValue},
+	}
+	for _, tc := range cases {
+		e, ok := edgeBetween(g, tc.from, tc.to)
+		if !ok {
+			t.Errorf("missing edge %s -> %s", tc.from, tc.to)
+			continue
+		}
+		if e.Kind != tc.kind {
+			t.Errorf("edge %s -> %s kind = %v, want %v", tc.from, tc.to, e.Kind, tc.kind)
+		}
+	}
+	if _, ok := edgeBetween(g, "fake.call", "fake.(*beta).Handle"); ok {
+		t.Error("value edge to (*beta).Handle: no call site passes it")
+	}
+}
+
+func TestCallGraphReachability(t *testing.T) {
+	g := graphFor(t)
+	reachable := []string{
+		"fake.Inject", "fake.step", "fake.sink", "fake.rx",
+		"fake.(*alpha).Handle", "fake.(*beta).Handle", "fake.tick",
+	}
+	for _, name := range reachable {
+		if n := g.NodeByName(name); n == nil || !n.Reachable() {
+			t.Errorf("%s should be reachable from the roots", name)
+		}
+	}
+	unreachable := []string{"fake.wire", "fake.boot", "fake.isolated", "fake.call", "fake.Interrupt"}
+	for _, name := range unreachable {
+		if n := g.NodeByName(name); n == nil || n.Reachable() {
+			t.Errorf("%s should NOT be reachable (wiring code is not the data path)", name)
+		}
+	}
+}
+
+func TestCallGraphChain(t *testing.T) {
+	g := graphFor(t)
+	chain := g.Chain(g.NodeByName("fake.sink"))
+	if len(chain) < 2 {
+		t.Fatalf("chain for fake.sink too short: %v", chain)
+	}
+	if !strings.Contains(chain[0], "[root:") {
+		t.Errorf("chain must start at a root, got %q", chain[0])
+	}
+	last := chain[len(chain)-1]
+	if !strings.Contains(last, "fake.sink") || !strings.Contains(last, "graph.go:") {
+		t.Errorf("chain must end at the node with its call site, got %q", last)
+	}
+}
+
+func TestCallGraphDumpStable(t *testing.T) {
+	mod := loadTestPackage(t, "testdata/callgraph", "scout/internal/fake")
+	var a, b strings.Builder
+	if err := mod.Graph().Dump(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.Graph().Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Dump output differs between calls; it must be deterministic")
+	}
+	if !strings.HasPrefix(a.String(), "# data-path call graph:") {
+		t.Errorf("Dump header missing: %q", a.String()[:50])
+	}
+	if !strings.Contains(a.String(), "root fake.Inject\tdelivery entry point (name)") {
+		t.Error("Dump lacks the Inject root line")
+	}
+	if !strings.Contains(a.String(), "edge fake.Inject -> fake.step\tstatic\t") {
+		t.Error("Dump lacks the Inject->step static edge line")
+	}
+}

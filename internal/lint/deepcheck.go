@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file holds the interprocedural upgrades of the per-function
+// analyzers: a panic, a callback-under-lock, or a dropped error three calls
+// below a Deliver is caught through the data-path call graph, not just one
+// literally inside it.
+
+// NoPanicDeep extends nopanic across calls: the base analyzer bans panics
+// in data-path *bodies* but deliberately allows them in constructors
+// (New*/init/must*) and in the functions the allowlist documents as
+// boot-time wiring. Those exemptions are sound only while such functions
+// stay off the data path — a Deliver chain that reaches one turns a
+// programming-error assertion into a remotely triggerable crash. NoPanicDeep
+// walks the graph and flags every reachable panic whose function is not
+// explicitly marked `//scout:assert <why>`: the marker is the documented
+// claim that the panic guards a corrupted-kernel invariant (fbuf ownership,
+// a clock running backwards) that must fail loud even mid-path.
+var NoPanicDeep = &Analyzer{
+	Name:       "nopanic-deep",
+	Doc:        "no panic reachable from the data path unless the function is marked //scout:assert",
+	NeedsTypes: true,
+	Run:        runNoPanicDeep,
+}
+
+func runNoPanicDeep(pass *Pass) {
+	g := pass.Pkg.Mod.Graph()
+	for _, n := range g.NodesIn(pass.Pkg) {
+		if !n.Reachable() || assertAnnotated(n.Decl) {
+			continue
+		}
+		n.inspectOwn(func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj, ok := pass.Pkg.Info.Uses[id]; ok {
+				if _, builtin := obj.(*types.Builtin); !builtin {
+					return true
+				}
+			}
+			pass.ReportfChain(call.Pos(), g.Chain(n),
+				"panic in %s is reachable from the data path; return an error, or mark the function //scout:assert <why> if this guards kernel-corruption invariants", n.Name)
+			return true
+		})
+	}
+}
+
+// assertAnnotated reports whether the declaration's doc comment carries
+// `//scout:assert <why>` with a non-empty reason. The base nopanic analyzer
+// honors the same marker, so one declaration-site decision covers both the
+// direct and the interprocedural rule.
+func assertAnnotated(decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		idx := strings.Index(c.Text, "scout:assert")
+		if idx >= 0 && strings.TrimSpace(c.Text[idx+len("scout:assert"):]) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// LockSafeDeep extends locksafe across calls: the base analyzer flags a
+// function-typed value invoked between Lock and Unlock in the same body;
+// this one flags a *named* call made under a lock when the callee — through
+// any chain of static and interface edges — ends up invoking a callback.
+// Handing control to user code with a mutex held is the same reentrancy
+// deadlock whether the callback is one frame or five frames down; the fused
+// delivery chain makes the distant case easy to create (DeliverNext is an
+// innocent-looking method that immediately calls a Deliver function value).
+var LockSafeDeep = &Analyzer{
+	Name:         "locksafe-deep",
+	Doc:          "no call that transitively invokes a callback while a mutex is held",
+	InternalOnly: true,
+	NeedsTypes:   true,
+	Run:          runLockSafeDeep,
+}
+
+func runLockSafeDeep(pass *Pass) {
+	g := pass.Pkg.Mod.Graph()
+	info := pass.Pkg.Info
+	for _, n := range g.NodesIn(pass.Pkg) {
+		windows := collectLockWindows(info, n)
+		if len(windows.windows) == 0 {
+			continue
+		}
+		n.inspectOwn(func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok || !windows.covers(call.Pos()) {
+				return true
+			}
+			if _, _, isMutex := mutexMethod(info, call); isMutex {
+				return true
+			}
+			callee := calleeFunc(info, ast.Unparen(call.Fun))
+			if callee == nil {
+				return true // func-value call: base locksafe's finding
+			}
+			target := g.byFn[callee]
+			if target == nil || !invokesCallback(target) {
+				return true
+			}
+			pass.ReportfChain(call.Pos(), callbackTrail(g, target),
+				"%s called while a mutex is held eventually invokes a callback (via %s); release the lock before calling into the delivery chain", callee.Name(), trailSummary(target))
+			return true
+		})
+	}
+}
+
+// invokesCallback reports whether the node, or anything it can reach over
+// static and interface edges, calls a function-typed value. Value edges are
+// excluded from propagation: the node *making* a value call is already
+// counted by cbDirect, and following the resolved values would double-count
+// the same hand-off.
+func invokesCallback(n *GraphNode) bool {
+	switch n.cbState {
+	case 1: // in progress: assume false; a cycle cannot add new callbacks
+		return false
+	case 2:
+		return n.cbResult
+	}
+	n.cbState = 1
+	result := n.cbDirect
+	if !result {
+		for _, e := range n.Edges {
+			if e.Kind == EdgeValue {
+				continue
+			}
+			if invokesCallback(e.To) {
+				result = true
+				n.cbVia = e.To
+				n.cbPos = e.Pos
+				break
+			}
+		}
+	}
+	n.cbState = 2
+	n.cbResult = result
+	return result
+}
+
+// trailSummary names the function where the callback invocation happens.
+func trailSummary(n *GraphNode) string {
+	at := n
+	for at.cbVia != nil {
+		at = at.cbVia
+	}
+	return at.Name
+}
+
+// callbackTrail renders the call chain from the locked call site down to the
+// callback invocation, for `-why`.
+func callbackTrail(g *CallGraph, n *GraphNode) []string {
+	var out []string
+	out = append(out, fmt.Sprintf("%s [called under lock]", n.Name))
+	for at := n; at.cbVia != nil; at = at.cbVia {
+		out = append(out, fmt.Sprintf("-> %s (%s)", at.cbVia.Name, g.pos(at.cbPos)))
+	}
+	out = append(out, "-> <callback invocation>")
+	return out
+}
+
+// ErrCheckDeep extends errcheck-lite onto the data path: the base analyzer
+// permits explicit discards (`_ = f()`) because they are greppable; on a
+// call chain a Deliver can reach, even an explicit discard is a dropped path
+// invariant unless the code says why. The rule is the one ServeIncoming
+// already follows: a blank-discarded error in data-path-reachable code must
+// carry a justifying comment on its line or the line above.
+var ErrCheckDeep = &Analyzer{
+	Name:       "errcheck-deep",
+	Doc:        "blank-discarded errors on data-path call chains must carry a justifying comment",
+	NeedsTypes: true,
+	Run:        runErrCheckDeep,
+}
+
+func runErrCheckDeep(pass *Pass) {
+	g := pass.Pkg.Mod.Graph()
+	info := pass.Pkg.Info
+	for _, n := range g.NodesIn(pass.Pkg) {
+		if !n.Reachable() {
+			continue
+		}
+		n.inspectOwn(func(x ast.Node) bool {
+			st, ok := x.(*ast.AssignStmt)
+			if !ok || (st.Tok != token.ASSIGN && st.Tok != token.DEFINE) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				if !blankIdent(lhs) || !discardsError(info, st, i) {
+					continue
+				}
+				if commentedLine(pass, st.Pos()) {
+					continue
+				}
+				pass.ReportfChain(st.Pos(), g.Chain(n),
+					"error blank-discarded on a data-path call chain in %s; handle it, or justify the discard with a comment on this line", n.Name)
+				break
+			}
+			return true
+		})
+	}
+}
+
+// discardsError reports whether position i of the assignment receives a
+// value of (exactly) type error.
+func discardsError(info *types.Info, st *ast.AssignStmt, i int) bool {
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		tv, ok := info.Types[st.Rhs[0]]
+		if !ok {
+			return false
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || i >= tuple.Len() {
+			return false
+		}
+		return isErrorType(tuple.At(i).Type())
+	}
+	if i < len(st.Rhs) {
+		if tv, ok := info.Types[st.Rhs[i]]; ok && tv.Type != nil {
+			return isErrorType(tv.Type)
+		}
+	}
+	return false
+}
+
+// commentedLine reports whether any comment ends on the statement's line or
+// the line above it.
+func commentedLine(pass *Pass, pos token.Pos) bool {
+	fset := pass.Pkg.Mod.Fset
+	line := fset.Position(pos).Line
+	f := fileAt(pass, pos)
+	if f == nil {
+		return false
+	}
+	for _, cg := range f.Comments {
+		cl := fset.Position(cg.End()).Line
+		if cl == line || cl == line-1 {
+			return true
+		}
+	}
+	return false
+}

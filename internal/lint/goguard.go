@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// GoGuard keeps goroutine creation off the data path. The whole kernel is a
+// single-threaded event loop (flowguard already relies on that for the flow
+// cache); a `go` statement reachable from a Deliver chain or thread body
+// spawns concurrency the virtual clock cannot see, breaking both
+// determinism and the shard-confinement precondition of the parallel kernel
+// (ROADMAP item 1). Legitimate spawn points — test harness drivers, future
+// shard workers — must be marked with a `//scout:spawn <why>` comment on or
+// immediately above the statement, so every escape from the event loop is a
+// documented decision.
+var GoGuard = &Analyzer{
+	Name:       "goguard",
+	Doc:        "no `go` statements reachable from the data path outside annotated spawn points",
+	NeedsTypes: true,
+	Run:        runGoGuard,
+}
+
+func runGoGuard(pass *Pass) {
+	g := pass.Pkg.Mod.Graph()
+	for _, n := range g.NodesIn(pass.Pkg) {
+		if !n.Reachable() {
+			continue
+		}
+		n.inspectOwn(func(x ast.Node) bool {
+			gs, ok := x.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if spawnAnnotated(pass, gs.Pos()) {
+				return true
+			}
+			pass.ReportfChain(gs.Pos(), g.Chain(n),
+				"`go` statement reachable from the data path escapes the single-threaded event loop; run the work as a sim event, or annotate an intended spawn point with //scout:spawn <why>")
+			return true
+		})
+	}
+}
+
+// spawnAnnotated reports whether a `//scout:spawn <why>` comment (with a
+// non-empty reason) sits on the statement's line or the line above it.
+func spawnAnnotated(pass *Pass, pos token.Pos) bool {
+	fset := pass.Pkg.Mod.Fset
+	position := fset.Position(pos)
+	f := fileAt(pass, pos)
+	if f == nil {
+		return false
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "scout:spawn")
+			if idx < 0 || strings.TrimSpace(c.Text[idx+len("scout:spawn"):]) == "" {
+				continue
+			}
+			cl := fset.Position(c.End()).Line
+			if cl == position.Line || cl == position.Line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileAt finds the parsed file containing pos among the pass's files.
+func fileAt(pass *Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

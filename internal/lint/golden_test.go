@@ -86,6 +86,12 @@ func TestGolden(t *testing.T) {
 		{LockSafe, "testdata/locksafe", "scout/internal/fake"},
 		{ErrCheck, "testdata/errchecklite", "scout/internal/fake"},
 		{FlowGuard, "testdata/flowguard", "scout/internal/fake"},
+		{DetLint, "testdata/detlint", "scout/internal/fake"},
+		{DetLint, "testdata/detexport", "scout/cmd/fake"},
+		{ShardGuard, "testdata/shardguard", "scout/internal/fake"},
+		{GoGuard, "testdata/goguard", "scout/internal/fake"},
+		{NoPanicDeep, "testdata/nopanicdeep", "scout/internal/fake"},
+		{LockSafeDeep, "testdata/locksafedeep", "scout/internal/fake"},
 	}
 	for _, tc := range cases {
 		name := tc.analyzer.Name + "/" + filepath.Base(tc.dir)

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding. File is relative to the module root so output
@@ -26,6 +27,9 @@ type Diagnostic struct {
 	Col  int
 	Rule string
 	Msg  string
+	// Chain, when set, is the data-path call chain (root first) that makes
+	// the finding reachable; `scoutlint -why` prints it under the finding.
+	Chain []string
 }
 
 // String renders the finding in the canonical "file:line: [rule] msg" form.
@@ -62,17 +66,25 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfChain(pos, nil, format, args...)
+}
+
+// ReportfChain records a finding at pos with the call chain that reaches it;
+// the interprocedural analyzers use it so `-why` can print how the data path
+// gets there.
+func (p *Pass) ReportfChain(pos token.Pos, chain []string, format string, args ...any) {
 	position := p.Pkg.Mod.Fset.Position(pos)
 	file := position.Filename
 	if rel, err := filepath.Rel(p.Pkg.Mod.Root, file); err == nil {
 		file = filepath.ToSlash(rel)
 	}
 	p.report(Diagnostic{
-		File: file,
-		Line: position.Line,
-		Col:  position.Column,
-		Rule: p.Analyzer.Name,
-		Msg:  fmt.Sprintf(format, args...),
+		File:  file,
+		Line:  position.Line,
+		Col:   position.Column,
+		Rule:  p.Analyzer.Name,
+		Msg:   fmt.Sprintf(format, args...),
+		Chain: chain,
 	})
 }
 
@@ -82,9 +94,13 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 	return strings.HasSuffix(name, "_test.go")
 }
 
-// All returns every analyzer in the suite, in stable order.
+// All returns every analyzer in the suite, in stable order: the per-function
+// checks first, then the call-graph-backed interprocedural ones.
 func All() []*Analyzer {
-	return []*Analyzer{Simclock, AttrKey, NoPanic, LockSafe, ErrCheck, FlowGuard}
+	return []*Analyzer{
+		Simclock, AttrKey, NoPanic, LockSafe, ErrCheck, FlowGuard,
+		DetLint, ShardGuard, GoGuard, NoPanicDeep, LockSafeDeep, ErrCheckDeep,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("simclock,attrkey").
@@ -118,8 +134,24 @@ func Run(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return RunModule(mod, analyzers), nil
 }
 
+// AnalyzerTiming is the wall time one analyzer spent across all packages.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // RunModule applies the analyzers to an already-loaded module.
 func RunModule(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunModuleTimed(mod, analyzers, nil)
+	return diags
+}
+
+// RunModuleTimed is RunModule plus per-analyzer wall-time attribution. The
+// clock is injected by the caller (cmd/scoutlint passes time.Now) because
+// internal/ code may not read the wall clock directly — simclock enforces
+// that, including on this package. A nil now skips timing.
+func RunModuleTimed(mod *Module, analyzers []*Analyzer, now func() time.Time) ([]Diagnostic, []AnalyzerTiming) {
+	elapsed := make(map[string]time.Duration)
 	var diags []Diagnostic
 	for _, pkg := range mod.Pkgs {
 		for _, a := range analyzers {
@@ -142,7 +174,19 @@ func RunModule(mod *Module, analyzers []*Analyzer) []Diagnostic {
 				Files:    files,
 				report:   func(d Diagnostic) { diags = append(diags, d) },
 			}
-			a.Run(pass)
+			if now != nil {
+				start := now()
+				a.Run(pass)
+				elapsed[a.Name] += now().Sub(start)
+			} else {
+				a.Run(pass)
+			}
+		}
+	}
+	var timings []AnalyzerTiming
+	if now != nil {
+		for _, a := range analyzers {
+			timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: elapsed[a.Name]})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -157,5 +201,5 @@ func RunModule(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
-	return diags
+	return diags, timings
 }

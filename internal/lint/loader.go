@@ -23,6 +23,7 @@ type Module struct {
 	Pkgs []*Package
 
 	byPath map[string]*Package
+	graph  *CallGraph // lazily built data-path call graph (see callgraph.go)
 }
 
 // Package is one package in the module.

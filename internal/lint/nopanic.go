@@ -13,6 +13,13 @@ import (
 // programming errors caught at construction: constructors (New*), init
 // functions, and must* helpers, which exist precisely to turn errors into
 // panics at configuration time (§3.1's configuration step).
+//
+// A function whose doc comment carries `//scout:assert <why>` is also
+// exempt: the marker documents that its panics are fail-loud assertions on
+// kernel-corruption invariants (an fbuf freed twice, the virtual clock
+// running backwards) where continuing would corrupt state. nopanic-deep
+// honors the same marker, so the one annotation answers both the direct and
+// the reachable-from-the-data-path rule.
 var NoPanic = &Analyzer{
 	Name:         "nopanic",
 	Doc:          "no panic() in data-path code; return errors (panics allowed in New*/init/must* only)",
@@ -31,7 +38,7 @@ func runNoPanic(pass *Pass) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if ok && panicAllowedFunc(fn.Name.Name) {
+			if ok && (panicAllowedFunc(fn.Name.Name) || assertAnnotated(fn)) {
 				continue
 			}
 			where := "package-level initializer"

@@ -35,7 +35,25 @@ func TestScoutlintSelfCheck(t *testing.T) {
 		t.Errorf("stale allowlist entry %s:%d (%s %s): matches nothing; the violation was fixed, delete the entry",
 			allow.File, e.Line, e.Rule, e.Path)
 	}
+	for _, e := range allow.UnknownRules(All()) {
+		t.Errorf("allowlist entry %s:%d names unknown rule %q; fix or delete it", allow.File, e.Line, e.Rule)
+	}
 	if len(mod.Pkgs) < 30 {
 		t.Errorf("loader found only %d packages; module discovery looks broken", len(mod.Pkgs))
+	}
+	// The interprocedural layer must stay registered: a Graph() panic or an
+	// accidental drop from All() would otherwise silently skip it.
+	want := map[string]bool{
+		"detlint": true, "shardguard": true, "goguard": true,
+		"nopanic-deep": true, "locksafe-deep": true, "errcheck-deep": true,
+	}
+	for _, a := range All() {
+		delete(want, a.Name)
+	}
+	for name := range want {
+		t.Errorf("analyzer %s missing from All()", name)
+	}
+	if g := mod.Graph(); len(g.Nodes) < 100 {
+		t.Errorf("data-path call graph looks empty: %d nodes over the whole module", len(g.Nodes))
 	}
 }

@@ -1,0 +1,52 @@
+package fake
+
+type handler interface {
+	Handle(int)
+}
+
+type alpha struct{ n int }
+
+func (a *alpha) Handle(n int) { a.n = n }
+
+type beta struct{ n int }
+
+func (b *beta) Handle(n int) { b.n = n }
+
+type device struct {
+	OnReceive func(int)
+	h         handler
+}
+
+// Inject is a root by name; it dispatches through an interface and makes
+// one static call.
+func Inject(d *device, n int) {
+	d.h.Handle(n)
+	step(n)
+}
+
+func step(n int) { sink(n) }
+
+// wire makes rx a root by assigning it to a data-path field, and routes a
+// method value through a function parameter.
+func wire(d *device, a *alpha) {
+	d.OnReceive = rx
+	call(a.Handle)
+}
+
+func rx(n int) { sink(n) }
+
+func sink(int) {}
+
+func call(f func(int)) { f(1) }
+
+// Interrupt mimics the sched spawn point: the func at arg index 1 is a root.
+func Interrupt(cost int, fn func()) { _, _ = cost, fn }
+
+func boot() {
+	Interrupt(1, tick)
+}
+
+func tick() {}
+
+// isolated is called by nothing and roots nothing.
+func isolated() {}

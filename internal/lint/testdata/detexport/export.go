@@ -1,0 +1,49 @@
+package fake
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+)
+
+// The package imports encoding/json, so every function is in detlint's
+// export scope regardless of call-graph reachability.
+
+type report struct {
+	Names []string
+}
+
+func render(counts map[string]int) []byte {
+	var r report
+	for name := range counts { // want "order-nondeterministic"
+		r.Names = append(r.Names, name)
+	}
+	out, _ := json.Marshal(r)
+	return out
+}
+
+func renderSorted(counts map[string]int) []byte {
+	names := make([]string, 0, len(counts))
+	for name := range counts { // OK: collect-then-sort
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out, _ := json.Marshal(report{Names: names})
+	return out
+}
+
+// dev wires a data-path root so the wall-clock rule (which simclock only
+// enforces under internal/) is exercised out here too.
+type dev struct {
+	Deliver func()
+}
+
+func wire(d *dev) {
+	d.Deliver = pump
+}
+
+func pump() {
+	stamp = time.Now() // want "wall-clock"
+}
+
+var stamp time.Time

@@ -1,0 +1,61 @@
+package fake
+
+import "sort"
+
+// Inject is a data-path root by name (delivery entry point).
+func Inject(m map[int]int, weights map[string]float64) {
+	for k := range m { // want "order-nondeterministic"
+		consume(k)
+	}
+
+	total := 0
+	for _, v := range m { // OK: commutative integer accumulation
+		total += v
+	}
+	consume(total)
+
+	var acc float64
+	for _, w := range weights { // want "order-nondeterministic"
+		acc += w // float addition is not associative
+	}
+	_ = acc
+
+	out := map[int]int{}
+	for k, v := range m { // OK: per-key writes into another map
+		out[k] = v * 2
+	}
+
+	keys := make([]int, 0, len(m))
+	for k := range m { // OK: collect-then-sort
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		consume(k)
+	}
+
+	unsorted := make([]int, 0, len(m))
+	for k := range m { // want "order-nondeterministic"
+		unsorted = append(unsorted, k)
+	}
+	consume(len(unsorted)) // appended but never sorted
+
+	helper(m)
+}
+
+// helper is reachable only through Inject; the finding is interprocedural.
+func helper(m map[int]int) {
+	for k, v := range m { // want "order-nondeterministic"
+		consume(k + v)
+	}
+}
+
+func consume(int) {}
+
+// offPath is reachable from nothing; its iteration order never leaks into
+// simulation output, so detlint stays quiet.
+func offPath(m map[int]int) {
+	for k := range m {
+		consume(k)
+	}
+}

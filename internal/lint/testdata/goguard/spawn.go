@@ -1,0 +1,27 @@
+package fake
+
+// Inject is a data-path root by name.
+func Inject(work func()) {
+	go work() // want "escapes the single-threaded event loop"
+
+	//scout:spawn test harness driver, joined before the clock advances
+	go work() // OK: annotated on the line above
+
+	go work() //scout:spawn same-line annotation also accepted
+
+	relay(work)
+}
+
+// relay is reachable through Inject; the spawn three calls down still fires.
+func relay(work func()) {
+	indirect(work)
+}
+
+func indirect(work func()) {
+	go work() // want "escapes the single-threaded event loop"
+}
+
+// offPath spawns freely: it is not reachable from any data-path root.
+func offPath(work func()) {
+	go work()
+}

@@ -1,0 +1,45 @@
+package fake
+
+// Inject is a data-path root by name. Base nopanic exempts New* and must*
+// functions wholesale; nopanic-deep re-checks them the moment a delivery
+// chain can actually reach them.
+func Inject(n int) {
+	buf := NewBuffer(n)
+	mustAlign(n)
+	checkOwner(buf, n)
+}
+
+// NewBuffer panics on bad input and is base-exempt (New* prefix) — but it
+// is on the path now, and nothing documents the panic as an assertion.
+func NewBuffer(n int) []byte {
+	if n < 0 {
+		panic("negative size") // want "reachable from the data path"
+	}
+	return make([]byte, n)
+}
+
+// mustAlign is base-exempt (must* prefix), reachable, undocumented.
+func mustAlign(n int) {
+	if n%8 != 0 {
+		panic("unaligned") // want "reachable from the data path"
+	}
+}
+
+// checkOwner carries the marker: its panic is a documented fail-loud
+// assertion, legal even on the path.
+//
+//scout:assert a foreign owner means the buffer table is corrupt; continuing would alias memory
+func checkOwner(buf []byte, owner int) {
+	if len(buf) > 0 && owner < 0 {
+		panic("foreign owner") // OK: //scout:assert
+	}
+}
+
+// NewOffPath panics too, but no chain reaches it: only base nopanic's
+// New*-exemption applies, and nopanic-deep stays quiet.
+func NewOffPath(n int) []byte {
+	if n < 0 {
+		panic("negative size")
+	}
+	return make([]byte, n)
+}

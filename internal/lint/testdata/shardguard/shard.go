@@ -1,0 +1,65 @@
+package fake
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hits is mutated from the data path with no synchronization: the finding.
+var hits int
+
+// counters is an all-atomic struct: shard-safe by type.
+var counters struct {
+	packets atomic.Int64
+	bytes   atomic.Int64
+}
+
+// registry is guarded by regMu everywhere it is touched on the path.
+var (
+	regMu    sync.Mutex
+	registry = map[string]int{}
+)
+
+// bootTable is written only by init: immutable after boot.
+var bootTable [256]byte
+
+func init() {
+	for i := range bootTable {
+		bootTable[i] = byte(i)
+	}
+}
+
+// scratch is mutated on the path but documented as shard-confined.
+//
+//scout:confined one instance per shard, rebound at shard start
+var scratch []byte
+
+// Inject is a data-path root by name.
+func Inject(n int) {
+	hits += n // want "package-level mutable"
+
+	counters.packets.Add(1) // OK: atomic
+
+	regMu.Lock()
+	registry["x"] = n // OK: lock held
+	regMu.Unlock()
+
+	consume(bootTable[n&0xff]) // OK: init-only
+
+	scratch = append(scratch, byte(n)) // OK: annotated confined
+
+	touchUnlocked()
+}
+
+// touchUnlocked reads the registry without the lock, three calls down.
+func touchUnlocked() {
+	consume(byte(registry["x"])) // want "package-level mutable"
+}
+
+func consume(byte) {}
+
+// offPath mutates hits too, but is unreachable: counted as a writer (it
+// makes hits "mutated"), yet produces no finding itself.
+func offPath() {
+	hits++
+}

@@ -14,6 +14,8 @@ type Frame struct {
 }
 
 // NewFrame allocates a frame; w and h must be positive multiples of 16.
+//
+//scout:assert dimensions come from validated sequence headers; a bad size is decoder corruption
 func NewFrame(w, h int) *Frame {
 	if w <= 0 || h <= 0 || w%16 != 0 || h%16 != 0 {
 		panic(fmt.Sprintf("mpeg: frame size %dx%d not a multiple of 16", w, h))
@@ -27,6 +29,8 @@ func NewFrame(w, h int) *Frame {
 }
 
 // CopyFrom overwrites f with src (same dimensions required).
+//
+//scout:assert mismatched reference-frame dimensions mean the decoder state is corrupt
 func (f *Frame) CopyFrom(src *Frame) {
 	if f.W != src.W || f.H != src.H {
 		panic("mpeg: CopyFrom dimension mismatch")

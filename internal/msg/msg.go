@@ -178,6 +178,8 @@ func New(data []byte) *Msg {
 
 // NewWithHeadroom returns a message with size bytes of zeroed payload and
 // headroom bytes of space in front of it for headers to be pushed.
+//
+//scout:assert negative sizes are caller arithmetic bugs, not packet data
 func NewWithHeadroom(headroom, size int) *Msg {
 	if headroom < 0 || size < 0 {
 		panic("msg: negative size")
@@ -192,6 +194,8 @@ func NewWithHeadroom(headroom, size int) *Msg {
 // FromBuffer builds a message over an externally owned buffer (typically an
 // fbuf). The view starts at [off:end); pool (may be nil) receives the buffer
 // back on final Free.
+//
+//scout:assert an out-of-range view is fbuf ownership corruption; continuing would alias foreign memory
 func FromBuffer(buf []byte, off, end int, pool Releaser) *Msg {
 	if off < 0 || end < off || end > len(buf) {
 		panic(fmt.Sprintf("msg: bad view [%d:%d) over %d bytes", off, end, len(buf)))
@@ -217,6 +221,8 @@ func (m *Msg) Bytes() []byte { return m.buf[m.off:m.end] }
 // insufficient, the backing buffer is grown with a copy (counted in
 // CopyStats) — correct, but paths are expected to allocate enough headroom
 // up front so this never triggers on the fast path.
+//
+//scout:assert a negative push is header-size arithmetic corruption in the protocol stage
 func (m *Msg) Push(n int) []byte {
 	if n < 0 {
 		panic("msg: negative Push")
@@ -239,6 +245,10 @@ func (m *Msg) Push(n int) []byte {
 }
 
 // Pop strips n bytes from the front and returns them (aliasing the buffer).
+// Short input returns ErrShort; only a negative n (caller arithmetic bug)
+// panics.
+//
+//scout:assert a negative pop is header-size arithmetic corruption in the protocol stage
 func (m *Msg) Pop(n int) ([]byte, error) {
 	if n < 0 {
 		panic("msg: negative Pop")
@@ -330,6 +340,8 @@ func (m *Msg) CopyIn(data []byte) error {
 // Pool-backed views are recycled: when the final reference of an fbuf-backed
 // message goes, the view struct and refcount cell return to their free lists
 // along with the buffer, so the steady-state data path allocates nothing.
+//
+//scout:assert a double free means two owners of one fbuf; silent reuse would corrupt payloads
 func (m *Msg) Free() {
 	if m.refs == nil {
 		panic("msg: double free")

@@ -253,8 +253,16 @@ func (fs *flowState) teardown() {
 		fs.rtoTimer.Cancel()
 		fs.rtoTimer = nil
 	}
-	for seq, m := range fs.held {
-		delete(fs.held, seq)
+	// Free in sequence order: the msg pool's free list is LIFO, so the order
+	// buffers return to it is observable in later allocations.
+	seqs := make([]uint32, 0, len(fs.held))
+	for s := range fs.held {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		m := fs.held[s]
+		delete(fs.held, s)
 		m.Free()
 	}
 	fs.unacked = nil

@@ -294,6 +294,7 @@ func (sd *udpStage) input(i *core.NetIface, m *msg.Msg) error {
 		m.Free()
 		return err
 	}
+	// Parse only fails on short input, and Peek(HeaderLen) just proved length.
 	h, _ := Parse(raw)
 	if int(h.Length) != m.Len() {
 		u.stats.BadLength++

@@ -74,6 +74,8 @@ var _ core.ThreadControl = (*Thread)(nil)
 
 // SetPolicy moves the thread to the named policy; it panics if the policy
 // was never registered (a configuration error).
+//
+//scout:assert policy names are compile-time constants in wiring code, never runtime input
 func (t *Thread) SetPolicy(policy string) {
 	if t.policy == policy {
 		return
@@ -249,6 +251,8 @@ func (s *Sched) AddPolicy(name string, q runQueue, share int) {
 }
 
 // NewThread creates a sleeping thread under the named policy.
+//
+//scout:assert an unknown policy or nil body is path-creation miswiring, not runtime input
 func (s *Sched) NewThread(name, policy string, body Body) *Thread {
 	if _, ok := s.policies[policy]; !ok {
 		panic(fmt.Sprintf("sched: unknown policy %q", policy))

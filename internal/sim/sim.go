@@ -109,6 +109,8 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // At schedules fn to run at virtual time t. Scheduling in the past (or at
 // the present) runs the event at the current time, after already-pending
 // events for that time.
+//
+//scout:assert a nil event func would crash the loop later with the cause lost; fail at the scheduling site
 func (e *Engine) At(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: At with nil func")
