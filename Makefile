@@ -10,9 +10,9 @@ GO ?= go
 # max fps), the standard defence against scheduler/GC noise on shared
 # machines. BENCHBASE is the committed baseline benchdiff compares against.
 BENCHTIME ?= 1s
-BENCHCOUNT ?= 3
-BENCHOUT ?= BENCH_pr5.json
-BENCHBASE ?= BENCH_pr3.json
+BENCHCOUNT ?= 5
+BENCHOUT ?= BENCH_pr7.json
+BENCHBASE ?= BENCH_pr5.json
 
 .PHONY: check build vet test race lint lintgraph bench benchdiff benchsmoke tracegate chaosgate
 

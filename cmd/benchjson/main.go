@@ -19,15 +19,20 @@
 // Compare mode (-base/-new) applies these rules per benchmark shared by the
 // two documents:
 //
-//   - allocs/op is compared strictly: any increase fails. Allocation counts
-//     are machine-independent, and the zero-alloc data path must not rot.
+//   - allocs/op must not grow beyond 0.1%: a zero-alloc baseline therefore
+//     stays strict (the data path must not rot), while whole-simulation
+//     benchmarks get just enough slack for sync.Pool/GC-timing jitter.
+//     Scoutlint is exempt — it allocates in proportion to this repo's own
+//     source, which every PR grows.
 //   - ns/op must stay within a ratio threshold (default 1.2×), but only
 //     when both documents were recorded on the same CPU — wall-clock time
-//     is not comparable across machines. BenchmarkE2_Demux carries a 0.34
-//     ceiling instead: the device-edge flow cache claims a ≥3× win over
-//     the pr3 classification walk.
+//     is not comparable across machines. The flow cache's ≥3× win over the
+//     uncached walk is enforced within the new document (hit vs cold-miss),
+//     not against the baseline, since pr5 both sides carry the cache.
 //   - fps must not drop below 0.999× of the base — the virtual-time frame
 //     rates are deterministic, so any real regression shows up exactly.
+//   - wall-clock throughput ("/s" units such as pkts/s) must not drop below
+//     1/1.2× of the base, same-CPU only — the rate mirror of the ns/op rule.
 //   - other virtual-clock metrics (ns-per-packet, neptune-missed) must be
 //     bit-identical: they are simulation outputs, and drift means the
 //     change altered behaviour, not just speed.
@@ -36,7 +41,8 @@
 // hit-vs-walk separation internally (≥1.5×): BenchmarkE2_Demux (cache hit)
 // vs BenchmarkE2_Demux_ColdMiss (full walk) on the same machine and run.
 // The in-run bound is lower than the headline because the reference walk
-// itself got ~19× faster in pr5.
+// itself got ~19× faster in pr5. Likewise BenchmarkE2_Demux_Burst must come
+// in under its absolute amortized budget (20 wall-ns/pkt).
 package main
 
 import (
@@ -46,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -178,9 +185,10 @@ func parse(r io.Reader) (doc, error) {
 
 // merge folds a parsed benchmark line into the document. Repeated lines for
 // the same benchmark (`go test -count=N`) keep the best observation per
-// metric: min for cost metrics (ns/op, B/op, allocs/op — best-of-N is the
-// standard defence against scheduler/GC noise on shared machines), max for
-// fps. Virtual-time metrics are deterministic, so for them the policy is a
+// metric: min for cost metrics (ns/op, B/op, allocs/op, wall-ns/pkt —
+// best-of-N is the standard defence against scheduler/GC noise on shared
+// machines), max for rates (fps and any "/s" unit such as pkts/s).
+// Virtual-time metrics are deterministic, so for them the policy is a
 // no-op.
 func (d *doc) merge(b benchmark) {
 	for i := range d.Benchmarks {
@@ -188,12 +196,18 @@ func (d *doc) merge(b benchmark) {
 		if have.Name != b.Name || have.Pkg != b.Pkg {
 			continue
 		}
-		for unit, v := range b.Metrics {
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			v := b.Metrics[unit]
 			old, seen := have.Metrics[unit]
 			switch {
 			case !seen:
 				have.Metrics[unit] = v
-			case unit == "fps":
+			case unit == "fps" || strings.HasSuffix(unit, "/s"):
 				have.Metrics[unit] = max(old, v)
 			default:
 				have.Metrics[unit] = min(old, v)

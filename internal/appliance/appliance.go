@@ -66,8 +66,10 @@ type Config struct {
 
 	// CoalesceRx enables receive-interrupt mitigation on the NIC: frames
 	// arriving at the same virtual instant share one scheduler interrupt
-	// entry. Off by default because it reorders work within an instant,
-	// which perturbs virtual-time outputs of seeded experiments.
+	// entry (charging the summed IRQ cost) and are classified as a batch by
+	// the ETH driver's burst classifier. Like NoFastPath, the switch changes
+	// which host code runs, never an outcome: E12 gates burst mode on
+	// byte-identical virtual-time outputs against the per-frame reference.
 	CoalesceRx bool
 
 	// StarveAfter is the watchdog's runnable-to-dispatch latency beyond

@@ -39,13 +39,31 @@ type FlowKey struct {
 }
 
 // FlowCacheStats is a snapshot of cache behaviour, surfaced through
-// pathtrace metrics and pathtop.
+// pathtrace metrics and pathtop. The counters are conservation-clean:
+// Inserts == Evictions + Invalidations + DeadLookups + Len.
 type FlowCacheStats struct {
 	Hits          int64 // lookups resolved from the cache
 	Misses        int64 // lookups that fell back to the full demux walk
 	Inserts       int64 // successful walk results recorded
 	Evictions     int64 // entries displaced by the capacity bound
 	Invalidations int64 // entries removed by invalidation (destroy/table change)
+	DeadLookups   int64 // entries removed by Lookup's defensive liveness check
+}
+
+// flowEntry is one cached binding. seq identifies the insertion that created
+// it: re-inserting a key after invalidation bumps the sequence, which lets
+// evictOldest and compact tell a live order slot from a stale one left by an
+// earlier life of the same key.
+type flowEntry struct {
+	path *Path
+	seq  uint64
+}
+
+// orderSlot records one insertion in FIFO order. A slot is live iff the
+// key's current entry carries the same sequence number.
+type orderSlot struct {
+	key FlowKey
+	seq uint64
 }
 
 // FlowCache is a bounded map from flow fingerprints to live paths. It is
@@ -54,9 +72,11 @@ type FlowCacheStats struct {
 // check enforces this statically).
 type FlowCache struct {
 	cap     int
-	entries map[FlowKey]*Path
-	order   []FlowKey      // insertion order, oldest first (FIFO eviction)
+	entries map[FlowKey]flowEntry
+	order   []orderSlot    // insertion order, oldest first (FIFO eviction)
 	hooked  map[*Path]bool // paths carrying our destroy hook
+	nextSeq uint64
+	gen     uint64
 	stats   FlowCacheStats
 }
 
@@ -67,25 +87,38 @@ func NewFlowCache(cap int) *FlowCache {
 	}
 	return &FlowCache{
 		cap:     cap,
-		entries: make(map[FlowKey]*Path, cap),
+		entries: make(map[FlowKey]flowEntry, cap),
 		hooked:  make(map[*Path]bool),
 	}
 }
+
+// Gen reports the cache's invalidation generation: it advances whenever an
+// entry is removed for a correctness reason (path destroy, table change,
+// dead-path lookup). Burst classification memoizes a resolved key → path
+// binding outside the cache for the duration of a burst; the memo is valid
+// only while the generation is unchanged, because any event that could
+// change a classification decision funnels through an invalidation here.
+// Capacity evictions do not advance the generation — they drop a binding
+// that is still correct.
+func (fc *FlowCache) Gen() uint64 { return fc.gen }
 
 // Lookup resolves a fingerprint to its cached path. A hit never returns a
 // destroyed path: the destroy hook removes entries eagerly, and a defensive
 // liveness check backs it up.
 func (fc *FlowCache) Lookup(k FlowKey) (*Path, bool) {
-	p, ok := fc.entries[k]
-	if ok && p.Dead() {
-		// Defensive: Destroy should have invalidated already.
+	e, ok := fc.entries[k]
+	if ok && e.path.Dead() {
+		// Defensive: Destroy should have invalidated already. Counted apart
+		// from Invalidations so the hook path and this backstop never
+		// double-count one logical invalidation.
 		delete(fc.entries, k)
-		fc.stats.Invalidations++
+		fc.stats.DeadLookups++
+		fc.gen++
 		ok = false
 	}
 	if ok {
 		fc.stats.Hits++
-		return p, true
+		return e.path, true
 	}
 	fc.stats.Misses++
 	return nil, false
@@ -99,13 +132,19 @@ func (fc *FlowCache) Insert(k FlowKey, p *Path) {
 	if p == nil || p.Dead() {
 		return
 	}
+	fc.nextSeq++
+	seq := fc.nextSeq
 	if _, exists := fc.entries[k]; !exists {
 		for len(fc.entries) >= fc.cap {
 			fc.evictOldest()
 		}
-		fc.order = append(fc.order, k)
 	}
-	fc.entries[k] = p
+	// Re-inserting a key leaves its old order slot behind as a stale
+	// (sequence-mismatched) entry; eviction and compaction skip it, so the
+	// key's FIFO age restarts at this insertion and the key occupies exactly
+	// one live slot.
+	fc.entries[k] = flowEntry{path: p, seq: seq}
+	fc.order = append(fc.order, orderSlot{key: k, seq: seq})
 	fc.stats.Inserts++
 	if !fc.hooked[p] {
 		fc.hooked[p] = true
@@ -114,14 +153,15 @@ func (fc *FlowCache) Insert(k FlowKey, p *Path) {
 	fc.compact()
 }
 
-// evictOldest removes the oldest still-present entry (skipping order slots
-// already cleared by invalidation).
+// evictOldest removes the oldest still-live entry, skipping order slots that
+// are stale: cleared by invalidation, or superseded by a re-insert of the
+// same key (the sequence check).
 func (fc *FlowCache) evictOldest() {
 	for len(fc.order) > 0 {
-		k := fc.order[0]
+		s := fc.order[0]
 		fc.order = fc.order[1:]
-		if _, ok := fc.entries[k]; ok {
-			delete(fc.entries, k)
+		if e, ok := fc.entries[s.key]; ok && e.seq == s.seq {
+			delete(fc.entries, s.key)
 			fc.stats.Evictions++
 			return
 		}
@@ -135,31 +175,34 @@ func (fc *FlowCache) evictOldest() {
 	}
 }
 
-// compact bounds the order slate: invalidations delete map entries without
-// touching order, so periodically rebuild it from the survivors.
+// compact bounds the order slate: invalidations and re-inserts leave stale
+// slots behind, so periodically rebuild it from the live survivors.
 func (fc *FlowCache) compact() {
 	if len(fc.order) <= 2*fc.cap {
 		return
 	}
 	kept := fc.order[:0]
-	for _, k := range fc.order {
-		if _, ok := fc.entries[k]; ok {
-			kept = append(kept, k)
+	for _, s := range fc.order {
+		if e, ok := fc.entries[s.key]; ok && e.seq == s.seq {
+			kept = append(kept, s)
 		}
 	}
 	fc.order = kept
 }
 
 // InvalidatePath removes every entry bound to p (its destroy hook calls
-// this; it is also safe to call directly).
+// this; it is also safe to call directly). The generation advances even when
+// no entry matches: the hook can fire after the path's entries were evicted
+// for capacity, and a burst memo may still hold the binding.
 func (fc *FlowCache) InvalidatePath(p *Path) {
-	for k, v := range fc.entries {
-		if v == p {
+	for k, e := range fc.entries {
+		if e.path == p {
 			delete(fc.entries, k)
 			fc.stats.Invalidations++
 		}
 	}
 	delete(fc.hooked, p)
+	fc.gen++
 }
 
 // InvalidateAll empties the cache. Demux-table and rule changes use this:
@@ -167,6 +210,7 @@ func (fc *FlowCache) InvalidatePath(p *Path) {
 // are rare control-plane events, so wholesale invalidation is the simple
 // safe choice.
 func (fc *FlowCache) InvalidateAll() {
+	fc.gen++
 	n := len(fc.entries)
 	if n == 0 && len(fc.order) == 0 {
 		return

@@ -228,6 +228,18 @@ func (p *Path) EnqueueIncoming(router string, m any) bool {
 	return p.Q[QIn(d)].Enqueue(m)
 }
 
+// IncomingQueue resolves the input queue EnqueueIncoming would use, or nil
+// when the named router owns neither end. Burst delivery resolves the queue
+// once per run of same-path frames and enqueues directly, instead of
+// repeating the router-name comparison per frame.
+func (p *Path) IncomingQueue(router string) *Queue {
+	d, ok := p.IncomingDir(router)
+	if !ok {
+		return nil
+	}
+	return p.Q[QIn(d)]
+}
+
 // ErrMemLimit is returned by ChargeMemory when a path would exceed the
 // memory the admission policy granted it.
 var ErrMemLimit = errors.New("core: path memory limit exceeded")

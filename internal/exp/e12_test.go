@@ -5,15 +5,16 @@ import (
 	"testing"
 )
 
-// TestE12Match is the fast-path equivalence gate: the engine on and off must
-// produce identical outputs from the same seed, while the fast run actually
-// exercises the cache and fusion.
+// TestE12Match is the fast-path equivalence gate: all four variants of the
+// {fast path, burst coalescing} grid must produce identical outputs from the
+// same seed, while the fast and burst runs actually exercise the cache,
+// fusion, and batch classification.
 func TestE12Match(t *testing.T) {
 	res := RunE12(SmokeE12Config())
 	if !res.Match() {
 		var b bytes.Buffer
 		PrintE12(&b, res)
-		t.Fatalf("fast-path outputs diverge:\n%s", b.String())
+		t.Fatalf("variant outputs diverge:\n%s", b.String())
 	}
 	if !res.Fast.Fused {
 		t.Error("fast variant: video path not fused")
@@ -33,6 +34,25 @@ func TestE12Match(t *testing.T) {
 	}
 	if res.Fast.Displayed == 0 {
 		t.Error("no frames displayed: experiment degenerate")
+	}
+	if res.Fast.RxBursts != 0 || res.Slow.RxBursts != 0 {
+		t.Error("per-frame variants drained coalesced bursts")
+	}
+	if res.FastBurst.RxBursts == 0 {
+		t.Error("burst variant: no coalesced bursts drained")
+	}
+	if res.FastBurst.BurstFrames <= res.FastBurst.RxBursts {
+		t.Errorf("burst variant: no multi-frame bursts (%d entries, %d frames)",
+			res.FastBurst.RxBursts, res.FastBurst.BurstFrames)
+	}
+	if res.FastBurst.BurstShared == 0 {
+		t.Error("burst variant: no frame ever shared an in-burst resolution")
+	}
+	if !res.FastBurst.Fused {
+		t.Error("fast+burst variant: video path not fused")
+	}
+	if res.SlowBurst.BurstShared != 0 {
+		t.Error("nofast+burst variant: in-burst sharing despite disabled cache")
 	}
 }
 

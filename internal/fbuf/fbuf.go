@@ -94,6 +94,45 @@ func (p *Pool) Get(n int) (*msg.Msg, error) {
 	return msg.FromBuffer(buf, p.headroom, p.headroom+n, p), nil
 }
 
+// GetBurst appends count messages of n payload bytes each to out, drawing
+// every buffer under a single lock acquisition and the view structs and
+// refcount cells from the arena — the burst-mode allocation path: one lock
+// round-trip and zero heap allocations per burst instead of per frame. Like
+// a NIC rx_burst it may come up short: at the buffer limit it returns the
+// messages it could build plus ErrExhausted.
+func (p *Pool) GetBurst(a *msg.Arena, out []*msg.Msg, count, n int) ([]*msg.Msg, error) {
+	if n < 0 || n > p.payload {
+		return out, fmt.Errorf("fbuf: request %d exceeds payload size %d", n, p.payload)
+	}
+	a.Reserve(count)
+	p.mu.Lock()
+	short := false
+	for i := 0; i < count; i++ {
+		var buf []byte
+		if f := len(p.free); f > 0 {
+			buf = p.free[f-1]
+			p.free[f-1] = nil
+			p.free = p.free[:f-1]
+			p.hits++
+		} else if p.limit > 0 && p.created >= p.limit {
+			p.exhausted++
+			short = true
+			break
+		} else {
+			buf = make([]byte, p.headroom+p.payload)
+			p.created++
+			p.misses++
+		}
+		p.out++
+		out = append(out, a.FromBuffer(buf, p.headroom, p.headroom+n, p))
+	}
+	p.mu.Unlock()
+	if short {
+		return out, ErrExhausted
+	}
+	return out, nil
+}
+
 func (p *Pool) take() ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()

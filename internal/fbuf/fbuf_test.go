@@ -222,3 +222,83 @@ func TestSetLimitShrinkNeverRevokesLive(t *testing.T) {
 		t.Fatalf("negative limit = %d, want clamp to 0 (unlimited)", p.Limit())
 	}
 }
+
+// TestGetBurst covers the burst allocation path: full bursts under one lock,
+// rx_burst-style short delivery at the limit, and accounting identical to
+// per-frame Gets.
+func TestGetBurst(t *testing.T) {
+	p := NewPool(1500, 32, 4, 0)
+	var a msg.Arena
+	out, err := p.GetBurst(&a, nil, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("burst delivered %d messages, want 8", len(out))
+	}
+	for _, m := range out {
+		if m.Len() != 1000 || m.Headroom() != 32 {
+			t.Fatalf("view = len %d headroom %d, want 1000/32", m.Len(), m.Headroom())
+		}
+		m.Free()
+	}
+	st := p.Stats()
+	if st.Hits != 4 || st.Misses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 4/4 (prealloc first, then growth)", st.Hits, st.Misses)
+	}
+	if st.Outstanding != 0 || st.Created != 8 {
+		t.Errorf("outstanding/created = %d/%d, want 0/8", st.Outstanding, st.Created)
+	}
+	a.Release()
+}
+
+func TestGetBurstShortAtLimit(t *testing.T) {
+	p := NewPool(100, 0, 0, 3)
+	var a msg.Arena
+	out, err := p.GetBurst(&a, nil, 5, 50)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("short burst delivered %d messages, want 3 (the limit)", len(out))
+	}
+	for _, m := range out {
+		m.Free()
+	}
+	if st := p.Stats(); st.Exhausted != 1 {
+		t.Errorf("exhausted = %d, want 1", st.Exhausted)
+	}
+	a.Release()
+}
+
+func TestGetBurstOversized(t *testing.T) {
+	p := NewPool(100, 0, 0, 0)
+	var a msg.Arena
+	if _, err := p.GetBurst(&a, nil, 2, 101); err == nil {
+		t.Fatal("oversized GetBurst succeeded")
+	}
+}
+
+// TestGetBurstZeroAlloc: a warm burst cycle — GetBurst, free all views,
+// release spares — must not allocate.
+func TestGetBurstZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses its caches under the race detector")
+	}
+	p := NewPool(1500, 32, 16, 16)
+	var a msg.Arena
+	out := make([]*msg.Msg, 0, 16)
+	out, _ = p.GetBurst(&a, out[:0], 16, 1000) // warm views + cells
+	for _, m := range out {
+		m.Free()
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		out, _ = p.GetBurst(&a, out[:0], 16, 1000)
+		for _, m := range out {
+			m.Free()
+		}
+	}); allocs != 0 {
+		t.Errorf("warm GetBurst cycle allocates %.0f times, want 0", allocs)
+	}
+	a.Release()
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fbuf
+
+const raceEnabled = false

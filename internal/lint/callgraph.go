@@ -162,7 +162,8 @@ var dataPathRootNames = map[string]bool{"Inject": true}
 var dataPathFields = map[string]bool{
 	"Deliver": true, "EarlyDiscard": true, "Wakeup": true, "OnOverload": true,
 	"NotEmpty": true, "Drained": true, "OnEnqueue": true, "OnDequeue": true,
-	"OnDrop": true, "OnExec": true, "OnReceive": true, "body": true,
+	"OnDrop": true, "OnExec": true, "OnReceive": true, "OnReceiveBurst": true,
+	"body": true,
 }
 
 // dataPathArgFuncs: a function value passed as argument N to a callee with

@@ -1,0 +1,142 @@
+package msg
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+type arenaPool struct{ released int }
+
+func (p *arenaPool) Release([]byte) { p.released++ }
+
+func TestArenaReserveSpareRelease(t *testing.T) {
+	var a Arena
+	if a.Spare() != 0 {
+		t.Fatalf("fresh arena spare = %d, want 0", a.Spare())
+	}
+	a.Reserve(8)
+	if a.Spare() != 8 {
+		t.Fatalf("spare = %d after Reserve(8), want 8", a.Spare())
+	}
+	a.Reserve(4) // top-up never shrinks
+	if a.Spare() != 8 {
+		t.Fatalf("spare = %d after Reserve(4), want 8", a.Spare())
+	}
+	a.Release()
+	if a.Spare() != 0 {
+		t.Fatalf("spare = %d after Release, want 0", a.Spare())
+	}
+}
+
+// TestArenaViewLifecycle: views handed out by the arena behave exactly like
+// plain pool-backed views — refcounted, recycled by normal Free, buffer
+// returned to the releaser.
+func TestArenaViewLifecycle(t *testing.T) {
+	var a Arena
+	pool := &arenaPool{}
+	a.Reserve(2)
+	buf := make([]byte, 64)
+	m := a.FromBuffer(buf, 8, 40, pool)
+	if a.Spare() != 1 {
+		t.Fatalf("spare = %d after one FromBuffer, want 1", a.Spare())
+	}
+	if m.Len() != 32 || m.Headroom() != 8 {
+		t.Fatalf("view = len %d headroom %d, want 32/8", m.Len(), m.Headroom())
+	}
+	c := m.Clone()
+	m.Free()
+	if pool.released != 0 {
+		t.Fatal("buffer released while a clone is live")
+	}
+	c.Free()
+	if pool.released != 1 {
+		t.Fatalf("released = %d after final free, want 1", pool.released)
+	}
+	// Reserve draws from the shared pools the freed view returned to; an
+	// empty-reserve FromBuffer tops up transparently.
+	m2 := a.FromBuffer(buf, 0, 64, pool)
+	m3 := a.FromBuffer(buf, 0, 64, pool) // reserve now empty: pool fallback
+	if a.Spare() != 0 {
+		t.Fatalf("spare = %d, want 0", a.Spare())
+	}
+	m3.Free()
+	m2.Free()
+	a.Release()
+}
+
+// TestArenaNilPoolFallback: GC-owned views gain nothing from the arena and
+// must not consume its reserve.
+func TestArenaNilPoolFallback(t *testing.T) {
+	var a Arena
+	a.Reserve(2)
+	m := a.FromBuffer(make([]byte, 16), 0, 16, nil)
+	if a.Spare() != 2 {
+		t.Fatalf("nil-pool FromBuffer consumed the reserve (spare = %d)", a.Spare())
+	}
+	m.Free() // GC-owned: Free must not try to recycle
+	a.Release()
+}
+
+func TestArenaBadViewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range view did not panic")
+		}
+	}()
+	var a Arena
+	a.FromBuffer(make([]byte, 8), 0, 9, &arenaPool{})
+}
+
+// TestArenaSteadyStateZeroAlloc: a reserve-hand out-free-release cycle over
+// warm pools allocates nothing.
+func TestArenaSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses its caches under the race detector")
+	}
+	var a Arena
+	pool := &arenaPool{}
+	buf := make([]byte, 128)
+	views := make([]*Msg, 0, 16)
+	// Warm the shared pools.
+	a.Reserve(16)
+	for i := 0; i < 16; i++ {
+		views = append(views, a.FromBuffer(buf, 0, 128, pool))
+	}
+	for _, m := range views {
+		m.Free()
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		a.Reserve(16)
+		views = views[:0]
+		for i := 0; i < 16; i++ {
+			views = append(views, a.FromBuffer(buf, 0, 128, pool))
+		}
+		for _, m := range views {
+			m.Free()
+		}
+		a.Release()
+	}); allocs != 0 {
+		t.Errorf("steady-state burst cycle allocates %.0f times, want 0", allocs)
+	}
+}
+
+// TestArenaReleaseReturnsDistinctCells guards against double-handing a
+// refcount cell: spares returned by Release and immediately re-reserved must
+// still be usable without aliasing a live view's cell.
+func TestArenaReleaseReturnsDistinctCells(t *testing.T) {
+	var a Arena
+	pool := &arenaPool{}
+	a.Reserve(1)
+	live := a.FromBuffer(make([]byte, 8), 0, 8, pool)
+	a.Reserve(4)
+	a.Release()
+	a.Reserve(4)
+	cells := map[*atomic.Int32]bool{live.refs: true}
+	for _, r := range a.refs {
+		if cells[r] {
+			t.Fatal("arena handed out an aliased refcount cell")
+		}
+		cells[r] = true
+	}
+	live.Free()
+}

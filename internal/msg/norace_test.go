@@ -1,0 +1,5 @@
+//go:build !race
+
+package msg
+
+const raceEnabled = false

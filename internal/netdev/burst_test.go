@@ -1,0 +1,166 @@
+package netdev
+
+import (
+	"testing"
+	"time"
+
+	"scout/internal/msg"
+	"scout/internal/sched"
+	"scout/internal/sim"
+)
+
+// countingPool counts buffer releases so tests can prove burst frames are
+// freed, not leaked.
+type countingPool struct{ released int }
+
+func (c *countingPool) Release([]byte) { c.released++ }
+
+// fastWorld builds a link so fast (and with zero delay) that back-to-back
+// transmissions arrive at the same virtual instant — the condition CoalesceRx
+// batches on.
+func fastWorld(t *testing.T) (*sim.Engine, *Link, *Device, *Device, *sched.Sched) {
+	t.Helper()
+	eng := sim.New(1)
+	l := NewLink(eng, LinkConfig{BitsPerSec: 1 << 60})
+	src := NewDevice(l, macA, nil)
+	cpu := sched.New(eng)
+	dst := NewDevice(l, macB, cpu)
+	return eng, l, src, dst, cpu
+}
+
+func burstFrame(pool msg.Releaser) *msg.Msg {
+	buf := make([]byte, 64)
+	return msg.FromBuffer(buf, 0, len(buf), pool)
+}
+
+// TestCoalesceRxBatchesSameInstant: same-instant arrivals drain as one
+// interrupt entry charging the summed IRQ cost, with the per-frame handler
+// run once per frame in arrival order.
+func TestCoalesceRxBatchesSameInstant(t *testing.T) {
+	eng, _, src, dst, cpu := fastWorld(t)
+	dst.CoalesceRx = true
+	dst.RxIRQCost = 5 * time.Microsecond
+
+	var got int
+	dst.OnReceive = func(m *msg.Msg) { got++; m.Free() }
+
+	const n = 8
+	for i := 0; i < n; i++ {
+		src.Transmit(macB, msg.New(make([]byte, 64)))
+	}
+	eng.Run()
+
+	if got != n {
+		t.Fatalf("handler ran %d times, want %d", got, n)
+	}
+	st := cpu.Stats()
+	if st.Interrupts != 1 {
+		t.Errorf("interrupt entries = %d, want 1 (coalesced)", st.Interrupts)
+	}
+	if want := time.Duration(n) * dst.RxIRQCost; st.IRQ != want {
+		t.Errorf("IRQ charge = %v, want %v (sum of per-frame costs)", st.IRQ, want)
+	}
+	if bursts, frames := dst.BurstStats(); bursts != 1 || frames != n {
+		t.Errorf("burst stats = (%d, %d), want (1, %d)", bursts, frames, n)
+	}
+}
+
+// TestCoalesceRxPrefersBurstHandler: when OnReceiveBurst is installed the
+// drain hands over the whole batch in one call, in arrival order.
+func TestCoalesceRxPrefersBurstHandler(t *testing.T) {
+	eng, _, src, dst, _ := fastWorld(t)
+	dst.CoalesceRx = true
+
+	var calls int
+	var sizes []int
+	dst.OnReceive = func(m *msg.Msg) { t.Error("per-frame handler ran despite burst handler"); m.Free() }
+	dst.OnReceiveBurst = func(frames []*msg.Msg) {
+		calls++
+		sizes = append(sizes, len(frames))
+		for _, m := range frames {
+			m.Free()
+		}
+	}
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		src.Transmit(macB, msg.New(make([]byte, 32)))
+	}
+	eng.Run()
+
+	if calls != 1 || len(sizes) != 1 || sizes[0] != n {
+		t.Fatalf("burst handler calls=%d sizes=%v, want one call of %d frames", calls, sizes, n)
+	}
+}
+
+// TestDrainBurstTeardownMidBurst is the regression test for the nil-handler
+// drain: tearing the handlers down between arming and the drain event used
+// to panic on the data path and leak every frame of the burst. The teardown
+// event lands after the burst is buffered (deliveries carry earlier
+// insertion sequence) and before the drain runs (armed during the first
+// delivery, so a later sequence than the teardown inserted beforehand is
+// impossible — the drain always runs last among same-instant events armed
+// that instant).
+func TestDrainBurstTeardownMidBurst(t *testing.T) {
+	eng, _, src, dst, cpu := fastWorld(t)
+	dst.CoalesceRx = true
+	dst.RxIRQCost = 5 * time.Microsecond
+	dst.OnReceive = func(m *msg.Msg) { t.Error("handler ran after teardown"); m.Free() }
+
+	pool := &countingPool{}
+	const n = 4
+	for i := 0; i < n; i++ {
+		src.Transmit(macB, burstFrame(pool))
+	}
+	// All frames arrive at instant 0; tear down at the same instant. The
+	// teardown event is inserted after the transmits (hence after the
+	// delivery events) but before the drain is armed, so it runs between
+	// buffering and draining.
+	eng.At(0, func() {
+		dst.OnReceive = nil
+		dst.OnReceiveBurst = nil
+	})
+	eng.Run()
+
+	if _, _, dropped := dst.Stats(); dropped != n {
+		t.Errorf("rxDropped = %d, want %d", dropped, n)
+	}
+	if pool.released != n {
+		t.Errorf("released %d frame buffers, want %d (teardown leaked frames)", pool.released, n)
+	}
+	if st := cpu.Stats(); st.Interrupts != 0 || st.IRQ != 0 {
+		t.Errorf("teardown drain charged the CPU: %d interrupts, %v IRQ", st.Interrupts, st.IRQ)
+	}
+}
+
+// TestCoalesceRxSeparateInstantsSeparateBursts: frames at distinct instants
+// drain as distinct bursts — coalescing never delays a frame.
+func TestCoalesceRxSeparateInstantsSeparateBursts(t *testing.T) {
+	eng := sim.New(1)
+	l := NewLink(eng, LinkConfig{BitsPerSec: 10_000_000})
+	src := NewDevice(l, macA, nil)
+	cpu := sched.New(eng)
+	dst := NewDevice(l, macB, cpu)
+	dst.CoalesceRx = true
+
+	var arrivals []sim.Time
+	dst.OnReceive = func(m *msg.Msg) { arrivals = append(arrivals, eng.Now()); m.Free() }
+
+	// Serialization separates these arrivals.
+	for i := 0; i < 3; i++ {
+		src.Transmit(macB, msg.New(make([]byte, 1000)))
+	}
+	eng.Run()
+
+	if len(arrivals) != 3 {
+		t.Fatalf("received %d frames, want 3", len(arrivals))
+	}
+	if bursts, frames := dst.BurstStats(); bursts != 3 || frames != 3 {
+		t.Errorf("burst stats = (%d, %d), want (3, 3): distinct instants must not coalesce", bursts, frames)
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] == arrivals[i-1] {
+			t.Error("serialized frames share an arrival instant")
+		}
+	}
+}

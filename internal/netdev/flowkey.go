@@ -1,6 +1,10 @@
 package netdev
 
-import "scout/internal/core"
+import (
+	"encoding/binary"
+
+	"scout/internal/core"
+)
 
 // Header geometry for the flat extractor. The ETH/IP/UDP routers own the
 // real codecs; these offsets mirror them for the one case the fast path
@@ -66,16 +70,65 @@ func FlowKeyOf(dev MAC, b []byte) (core.FlowKey, bool) {
 	return k, true
 }
 
+// FlowSig is a compressed signature of every flow- and eligibility-
+// determining header byte of an eligible frame: the Ethernet addresses and
+// EtherType, the IP version/IHL, TOS, fragment bits, TTL and protocol, the
+// IP addresses and the UDP ports. The mutable per-datagram fields (total
+// length, ID, header checksum) are excluded. Two frames with equal
+// signatures have, by construction, the same FlowKeyOf outcome — except the
+// excluded checksum, which SameFlow re-verifies — so the burst classifier's
+// hit path can compare five words instead of re-extracting the key.
+type FlowSig struct {
+	w0 uint64 // bytes 0..8: dst MAC, src MAC prefix
+	w1 uint64 // bytes 8..16: src MAC rest, EtherType, version/IHL, TOS
+	w2 uint32 // bytes 20..24: flags/fragment offset, TTL, protocol
+	w3 uint64 // bytes 26..34: src and dst IPv4 address
+	w4 uint32 // bytes 34..38: UDP ports
+}
+
+// SigOf records the flow signature of a frame FlowKeyOf accepted. The
+// caller must have validated the frame (len >= flowKeyMin).
+func SigOf(b []byte) FlowSig {
+	_ = b[flowKeyMin-1]
+	return FlowSig{
+		w0: binary.BigEndian.Uint64(b),
+		w1: binary.BigEndian.Uint64(b[8:]),
+		w2: binary.BigEndian.Uint32(b[20:]),
+		w3: binary.BigEndian.Uint64(b[26:]),
+		w4: binary.BigEndian.Uint32(b[34:]),
+	}
+}
+
+// SameFlow reports whether frame b matches sig byte-for-byte on every
+// signature field and carries a valid IP header checksum — together exactly
+// the conditions under which FlowKeyOf(dev, b) succeeds with the same key
+// as the frame sig was taken from. The comparison is strictly conservative:
+// a false negative only costs the caller a full key extraction.
+func SameFlow(sig FlowSig, b []byte) bool {
+	return len(b) >= flowKeyMin &&
+		binary.BigEndian.Uint64(b) == sig.w0 &&
+		binary.BigEndian.Uint64(b[8:]) == sig.w1 &&
+		binary.BigEndian.Uint32(b[20:]) == sig.w2 &&
+		binary.BigEndian.Uint64(b[26:]) == sig.w3 &&
+		binary.BigEndian.Uint32(b[34:]) == sig.w4 &&
+		ipv4HeaderOK(b[ipHeaderOff:udpHeaderOff])
+}
+
 // ipv4HeaderOK verifies the RFC 1071 checksum over a 20-byte IPv4 header:
 // the one's-complement sum of a header containing its own checksum folds to
-// 0xffff exactly when the checksum verifies.
+// 0xffff exactly when the checksum verifies. The sum is taken as five
+// big-endian 32-bit words — a 32-bit word contributes hi16·2¹⁶+lo16, and
+// the end-around folds carry every 2¹⁶ back into the low half, so the fold
+// of the word sum equals the fold of the 16-bit-word sum (RFC 1071 §2(B)).
 func ipv4HeaderOK(h []byte) bool {
-	var sum uint32
-	for i := 0; i+1 < 20; i += 2 {
-		sum += uint32(h[i])<<8 | uint32(h[i+1])
-	}
-	for sum>>16 != 0 {
-		sum = (sum & 0xffff) + sum>>16
-	}
+	_ = h[19]
+	sum := uint64(binary.BigEndian.Uint32(h)) +
+		uint64(binary.BigEndian.Uint32(h[4:])) +
+		uint64(binary.BigEndian.Uint32(h[8:])) +
+		uint64(binary.BigEndian.Uint32(h[12:])) +
+		uint64(binary.BigEndian.Uint32(h[16:]))
+	sum = sum>>32 + sum&0xffffffff
+	sum = sum>>16 + sum&0xffff
+	sum = sum>>16 + sum&0xffff
 	return sum == 0xffff
 }

@@ -1,0 +1,158 @@
+package netdev
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// validFrame hand-builds an eligible frame: Ethernet II to dev, unfragmented
+// IPv4/UDP with a correct header checksum.
+func validFrame(dev MAC) []byte {
+	b := make([]byte, 64)
+	copy(b[0:6], dev[:])
+	copy(b[6:12], []byte{2, 0, 0, 0, 0, 9})
+	binary.BigEndian.PutUint16(b[12:14], 0x0800)
+	ih := b[ipHeaderOff:udpHeaderOff]
+	ih[0] = 0x45
+	binary.BigEndian.PutUint16(ih[2:4], uint16(len(b)-ipHeaderOff))
+	binary.BigEndian.PutUint16(ih[4:6], 0x1234) // ID
+	ih[8] = 64                                  // TTL
+	ih[9] = 17                                  // UDP
+	copy(ih[12:16], []byte{10, 0, 0, 2})
+	copy(ih[16:20], []byte{10, 0, 0, 1})
+	var sum uint32
+	for i := 0; i < 20; i += 2 {
+		if i != 10 {
+			sum += uint32(binary.BigEndian.Uint16(ih[i : i+2]))
+		}
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	binary.BigEndian.PutUint16(ih[10:12], ^uint16(sum))
+	binary.BigEndian.PutUint16(b[udpHeaderOff:], 7000)
+	binary.BigEndian.PutUint16(b[udpHeaderOff+2:], 9300)
+	binary.BigEndian.PutUint16(b[udpHeaderOff+4:], uint16(len(b)-udpHeaderOff))
+	return b
+}
+
+func TestFlowKeyOfValid(t *testing.T) {
+	dev := MAC{2, 0, 0, 0, 0, 1}
+	k, ok := FlowKeyOf(dev, validFrame(dev))
+	if !ok {
+		t.Fatal("eligible frame rejected")
+	}
+	if k.EtherType != 0x0800 || k.Proto != 17 || k.SrcPort != 7000 || k.DstPort != 9300 {
+		t.Fatalf("key = %+v", k)
+	}
+	if k.Src != [4]byte{10, 0, 0, 2} || k.Dst != [4]byte{10, 0, 0, 1} {
+		t.Fatalf("key addresses = %v -> %v", k.Src, k.Dst)
+	}
+}
+
+func TestFlowKeyOfRejections(t *testing.T) {
+	dev := MAC{2, 0, 0, 0, 0, 1}
+	reject := func(name string, mutate func(b []byte)) {
+		b := validFrame(dev)
+		mutate(b)
+		if _, ok := FlowKeyOf(dev, b); ok {
+			t.Errorf("%s: ineligible frame accepted", name)
+		}
+	}
+	reject("wrong dst MAC", func(b []byte) { b[5] ^= 1 })
+	reject("ARP ethertype", func(b []byte) { binary.BigEndian.PutUint16(b[12:14], 0x0806) })
+	reject("IP options", func(b []byte) { b[ipHeaderOff] = 0x46 })
+	reject("bad checksum", func(b []byte) { b[ipHeaderOff+11] ^= 1 })
+	reject("fragment", func(b []byte) { b[ipHeaderOff+6] |= 0x20 })
+	reject("frag offset", func(b []byte) { b[ipHeaderOff+7] = 1 })
+	reject("TCP", func(b []byte) {
+		b[ipHeaderOff+9] = 6
+		// refresh the checksum so only the proto check can reject
+		b[ipHeaderOff+10], b[ipHeaderOff+11] = 0, 0
+		ih := b[ipHeaderOff:udpHeaderOff]
+		var sum uint32
+		for i := 0; i < 20; i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(ih[i : i+2]))
+		}
+		for sum>>16 != 0 {
+			sum = sum&0xffff + sum>>16
+		}
+		binary.BigEndian.PutUint16(ih[10:12], ^uint16(sum))
+	})
+	if _, ok := FlowKeyOf(dev, validFrame(dev)[:flowKeyMin-1]); ok {
+		t.Error("truncated frame accepted")
+	}
+	// Broadcast destination stays eligible.
+	b := validFrame(Broadcast)
+	if _, ok := FlowKeyOf(dev, b); !ok {
+		t.Error("broadcast frame rejected")
+	}
+}
+
+// TestSameFlowImpliesSameKey is the property behind the burst hit path: for
+// ANY mutation of a frame, SameFlow(sig, b') must imply that FlowKeyOf
+// accepts b' with exactly the signature frame's key. A violation would let
+// the burst classifier route a frame the per-frame classifier would have
+// rejected or keyed differently.
+func TestSameFlowImpliesSameKey(t *testing.T) {
+	dev := MAC{2, 0, 0, 0, 0, 1}
+	base := validFrame(dev)
+	key, ok := FlowKeyOf(dev, base)
+	if !ok {
+		t.Fatal("base frame ineligible")
+	}
+	sig := SigOf(base)
+	if !SameFlow(sig, base) {
+		t.Fatal("frame does not match its own signature")
+	}
+
+	rng := rand.New(rand.NewSource(29))
+	matched := 0
+	for trial := 0; trial < 200000; trial++ {
+		b := append([]byte(nil), base...)
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			b[rng.Intn(flowKeyMin)] ^= byte(1 + rng.Intn(255))
+		}
+		if !SameFlow(sig, b) {
+			continue
+		}
+		matched++
+		k2, ok2 := FlowKeyOf(dev, b)
+		if !ok2 || k2 != key {
+			t.Fatalf("SameFlow matched a frame FlowKeyOf keys differently (ok=%v key=%+v)", ok2, k2)
+		}
+	}
+	if matched == 0 {
+		t.Skip("no mutated frame matched the signature; property unexercised")
+	}
+}
+
+// TestSameFlowAcceptsMutableFields: the per-datagram fields a flow does not
+// determine (total length, ID, TTL is compared; length/ID change per packet)
+// must not break the signature match as long as the checksum is refreshed.
+func TestSameFlowAcceptsMutableFields(t *testing.T) {
+	dev := MAC{2, 0, 0, 0, 0, 1}
+	base := validFrame(dev)
+	sig := SigOf(base)
+	b := append([]byte(nil), base...)
+	// Next datagram of the same flow: new ID, new length, new checksum.
+	binary.BigEndian.PutUint16(b[ipHeaderOff+4:], 0x1235)
+	binary.BigEndian.PutUint16(b[ipHeaderOff+2:], uint16(len(b)-ipHeaderOff-2))
+	ih := b[ipHeaderOff:udpHeaderOff]
+	ih[10], ih[11] = 0, 0
+	var sum uint32
+	for i := 0; i < 20; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ih[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	binary.BigEndian.PutUint16(ih[10:12], ^uint16(sum))
+	if !SameFlow(sig, b) {
+		t.Fatal("next datagram of the same flow rejected by the signature")
+	}
+	if _, ok := FlowKeyOf(dev, b); !ok {
+		t.Fatal("next datagram ineligible (test frame built wrong)")
+	}
+}

@@ -14,6 +14,7 @@ func SampleDevice(name string, d *netdev.Device) DevSummary {
 		dv.FlowInserts = st.Inserts
 		dv.FlowEvictions = st.Evictions
 		dv.FlowInvalidations = st.Invalidations
+		dv.FlowDeadLookups = st.DeadLookups
 	}
 	return dv
 }

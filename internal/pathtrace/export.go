@@ -143,6 +143,7 @@ type DevSummary struct {
 	FlowInserts       int64  `json:"flowInserts"`
 	FlowEvictions     int64  `json:"flowEvictions"`
 	FlowInvalidations int64  `json:"flowInvalidations"`
+	FlowDeadLookups   int64  `json:"flowDeadLookups"`
 }
 
 // PathMetrics is the exportable aggregate of one instrumented path.
@@ -323,8 +324,8 @@ func RenderMetrics(w io.Writer, doc MetricsDoc, sortBy string) {
 	}
 	for _, dv := range doc.Devices {
 		pf("device %s\n", dv.Device)
-		pf("  flow-cache: %d entries, %d hits / %d misses (%d inserts, %d evictions, %d invalidations)\n",
-			dv.FlowEntries, dv.FlowHits, dv.FlowMisses, dv.FlowInserts, dv.FlowEvictions, dv.FlowInvalidations)
+		pf("  flow-cache: %d entries, %d hits / %d misses (%d inserts, %d evictions, %d invalidations, %d dead lookups)\n",
+			dv.FlowEntries, dv.FlowHits, dv.FlowMisses, dv.FlowInserts, dv.FlowEvictions, dv.FlowInvalidations, dv.FlowDeadLookups)
 		pf("  no-path drops: %d\n\n", dv.NoPathDrops)
 	}
 	if doc.EventsLost > 0 {
