@@ -1,6 +1,6 @@
-# Developer entry points. CI (.github/workflows/ci.yml) runs the same five
-# steps as `make check`, in the same order, then the tracegate determinism
-# gate and the machine-readable bench artifact.
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same steps
+# as `make check`, in the same order, then the tracegate/chaosgate
+# determinism gates and the machine-readable bench artifact.
 
 GO ?= go
 
@@ -14,9 +14,9 @@ BENCHCOUNT ?= 5
 BENCHOUT ?= BENCH_pr7.json
 BENCHBASE ?= BENCH_pr5.json
 
-.PHONY: check build vet test race lint lintgraph bench benchdiff benchsmoke tracegate chaosgate
+.PHONY: check build vet test race lint lintgraph bench benchdiff benchsmoke tracegate chaosgate mpgate
 
-check: build vet test race lint
+check: build vet test race lint mpgate
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,17 @@ tracegate:
 	$(GO) run ./cmd/mpegbench -run e10 -e10-smoke -trace $$dir/b.json -metrics $$dir/bm.json >/dev/null && \
 	cmp $$dir/a.json $$dir/b.json && cmp $$dir/am.json $$dir/bm.json && \
 	echo "tracegate: E10 exports byte-identical across same-seed runs"; \
+	rc=$$?; rm -rf $$dir; exit $$rc
+
+# mpgate is the multipath determinism gate: two same-seed E13 smoke runs
+# (the full k x policy grid with a mid-run link fault) must print
+# byte-identical reports.
+mpgate:
+	@dir=$$(mktemp -d) && \
+	$(GO) run ./cmd/mpegbench -run e13 -e13-smoke | grep -v wall-clock > $$dir/a.txt && \
+	$(GO) run ./cmd/mpegbench -run e13 -e13-smoke | grep -v wall-clock > $$dir/b.txt && \
+	cmp $$dir/a.txt $$dir/b.txt && \
+	echo "mpgate: E13 multipath report byte-identical across same-seed runs"; \
 	rc=$$?; rm -rf $$dir; exit $$rc
 
 # chaosgate is the overload-survival gate: the seeded chaos suite (fault

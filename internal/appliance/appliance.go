@@ -13,6 +13,7 @@ import (
 	"scout/internal/attr"
 	"scout/internal/core"
 	"scout/internal/display"
+	"scout/internal/mpath"
 	"scout/internal/netdev"
 	"scout/internal/pathtrace"
 	"scout/internal/proto/arp"
@@ -76,6 +77,13 @@ type Config struct {
 	// which a thread without a deadline counts as starving (default 50ms;
 	// < 0 disables starvation detection).
 	StarveAfter time.Duration
+
+	// ExtraLinks attaches additional parallel links: each gets its own NIC
+	// (MAC derived from MAC by bumping the last byte) and its own ETH
+	// router ("ETH1", "ETH2", …), all wired under the one IP/ARP pair, so a
+	// multipath flow can spread subpaths across independent wires. The
+	// primary link stays NIC 0 / router "ETH".
+	ExtraLinks []*netdev.Link
 }
 
 // DefaultConfig returns a workable single-host configuration.
@@ -103,6 +111,11 @@ type Kernel struct {
 	CPU   *sched.Sched
 	Dev   *netdev.Device
 	Link  *netdev.Link
+	// Devs and Links list every NIC/wire in link order; index 0 is
+	// Dev/Link. ETHs are the matching ETH router implementations.
+	Devs  []*netdev.Device
+	Links []*netdev.Link
+	ETHs  []*eth.Impl
 	FB    *display.Device
 	Graph *core.Graph
 	// Tracer is always non-nil after Boot; it records only when
@@ -177,15 +190,36 @@ func Boot(eng *sim.Engine, link *netdev.Link, cfg Config) (*Kernel, error) {
 	k.Dev = netdev.NewDevice(link, cfg.MAC, k.CPU)
 	k.Dev.RxIRQCost = cfg.RxIRQCost
 	k.Dev.CoalesceRx = cfg.CoalesceRx
+	k.Links = []*netdev.Link{link}
+	k.Devs = []*netdev.Device{k.Dev}
+	for i, l := range cfg.ExtraLinks {
+		mac := cfg.MAC
+		mac[5] += byte(i + 1) // per-NIC MAC; hosts on the wire use distinct bases
+		d := netdev.NewDevice(l, mac, k.CPU)
+		d.RxIRQCost = cfg.RxIRQCost
+		d.CoalesceRx = cfg.CoalesceRx
+		k.Links = append(k.Links, l)
+		k.Devs = append(k.Devs, d)
+	}
 	k.Tracer.SetDeviceSampler(func() []pathtrace.DevSummary {
-		return []pathtrace.DevSummary{pathtrace.SampleDevice("eth0", k.Dev)}
+		out := make([]pathtrace.DevSummary, len(k.Devs))
+		for i, d := range k.Devs {
+			out[i] = pathtrace.SampleDevice(fmt.Sprintf("eth%d", i), d)
+		}
+		return out
 	})
 	k.FB = display.New(eng, k.CPU, cfg.DisplayW, cfg.DisplayH, cfg.RefreshHz)
 	k.FB.VsyncIRQCost = 2 * time.Microsecond
 
 	k.ETH = eth.New(k.Dev)
+	k.ETHs = []*eth.Impl{k.ETH}
+	for _, d := range k.Devs[1:] {
+		k.ETHs = append(k.ETHs, eth.New(d))
+	}
 	if cfg.NoFastPath {
-		k.ETH.FlowCacheCap = -1 // no flow cache on this NIC
+		for _, e := range k.ETHs {
+			e.FlowCacheCap = -1 // no flow cache on this NIC
+		}
 	}
 	k.ARP = arp.New(cfg.Addr, k.CPU)
 	k.IP = ip.New(ip.Config{Addr: cfg.Addr, Mask: cfg.Mask, Gateway: cfg.Gateway}, k.CPU)
@@ -205,6 +239,10 @@ func Boot(eng *sim.Engine, link *netdev.Link, cfg Config) (*Kernel, error) {
 		g.SetFuse(false)
 	}
 	rETH := g.Add("ETH", k.ETH)
+	rETHs := []*core.Router{rETH}
+	for i, e := range k.ETHs[1:] {
+		rETHs = append(rETHs, g.Add(fmt.Sprintf("ETH%d", i+1), e))
+	}
 	rARP := g.Add("ARP", k.ARP)
 	rIP := g.Add("IP", k.IP)
 	rUDP := g.Add("UDP", k.UDP)
@@ -215,9 +253,14 @@ func Boot(eng *sim.Engine, link *netdev.Link, cfg Config) (*Kernel, error) {
 	rSHELL := g.Add("SHELL", k.Shell)
 	rTEST := g.Add("TEST", k.Test)
 
-	// Figure 6 wiring.
-	g.MustConnect(rARP, "down", rETH, "up")
-	g.MustConnect(rIP, "down", rETH, "up")
+	// Figure 6 wiring. ARP and IP see every wire: their "down" link order
+	// matches Kernel.Devs, so PA_MPATH_LINK=i descends to NIC i.
+	for _, r := range rETHs {
+		g.MustConnect(rARP, "down", r, "up")
+	}
+	for _, r := range rETHs {
+		g.MustConnect(rIP, "down", r, "up")
+	}
 	g.MustConnect(rIP, "res", rARP, "resolver")
 	// Figure 9 wiring.
 	g.MustConnect(rUDP, "down", rIP, "up")
@@ -258,6 +301,87 @@ func (k *Kernel) CreateVideoPath(a *VideoAttrs) (*core.Path, uint16, error) {
 	}
 	lport, _ := p.Attrs.Int(inet.AttrLocalPort)
 	return p, uint16(lport), nil
+}
+
+// CreateVideoPathSet creates one logical video flow carried by `subpaths`
+// parallel paths — the multipath extension of CreateVideoPath. Subpath 0 is
+// a full DISPLAY→…→ETH path (the flow's primary, owning the MFLOW state);
+// subpaths 1..k-1 are sibling paths created at MFLOW that join the primary's
+// flow (PA_MPATH_JOIN) and descend to NIC i (PA_MPATH_LINK), each with its
+// own worker thread feeding the shared decoder chain. The source must send
+// subflow i to the returned local port from its port base+i: UDP's exact
+// (lport, raddr, rport) demux is what separates the subpaths.
+//
+// The returned PathSet tracks per-subpath quality — the MFLOW receiver's
+// observer feeds each arrival's one-way latency and device-end queue depth
+// to it — and runs the named selection policy at sender dispatch. startSub
+// is the "pinned" policy's fixed subpath and every other policy's seeded
+// incumbent, so competing flows can start spread across the set.
+func (k *Kernel) CreateVideoPathSet(va *VideoAttrs, subpaths int, policyName string, startSub int) (*mpath.PathSet, uint16, error) {
+	if subpaths < 1 {
+		subpaths = 1
+	}
+	if subpaths > len(k.Devs) {
+		return nil, 0, fmt.Errorf("appliance: %d subpaths but only %d links", subpaths, len(k.Devs))
+	}
+	pol, err := mpath.ByName(policyName, startSub)
+	if err != nil {
+		return nil, 0, err
+	}
+	base := va.TraceLabel
+	if base == "" {
+		base = fmt.Sprintf("flow-%d", va.Source.RemotePort)
+	}
+	if va.Trace {
+		va.TraceLabel = fmt.Sprintf("%s/sub0@%s", base, policyName)
+	}
+	prim, lport, err := k.CreateVideoPath(va)
+	if err != nil {
+		return nil, 0, err
+	}
+	ps := mpath.New(base, pol)
+	ps.Add(prim, k.Dev, fmt.Sprintf("%s/sub0@%s", base, policyName))
+
+	rMFLOW, ok := k.Graph.Router("MFLOW")
+	if !ok {
+		prim.Destroy()
+		return nil, 0, fmt.Errorf("appliance: no MFLOW router")
+	}
+	for i := 1; i < subpaths; i++ {
+		label := fmt.Sprintf("%s/sub%d@%s", base, i, policyName)
+		attrs := attr.New().
+			Set(attr.NetParticipants, inet.Participants{
+				RemoteAddr: va.Source.RemoteAddr,
+				RemotePort: va.Source.RemotePort + uint16(i),
+			}).
+			Set(inet.AttrLocalPort, int(lport)).
+			Set(attr.MPathJoin, prim).
+			Set(attr.MPathSub, i).
+			Set(attr.MPathLink, i)
+		if va.QueueLen > 0 {
+			attrs.Set(attr.QueueLen, va.QueueLen)
+		}
+		if va.Trace {
+			attrs.Set(attr.Trace, true).Set(attr.TraceLabel, label)
+		}
+		sib, err := k.Graph.CreatePath(rMFLOW, attrs)
+		if err != nil {
+			for j := ps.K() - 1; j >= 0; j-- {
+				ps.Sub(j).Path.Destroy()
+			}
+			return nil, 0, fmt.Errorf("appliance: subpath %d: %w", i, err)
+		}
+		if va.Trace && k.Tracer.Enabled() {
+			k.InstrumentPath(sib, label)
+		}
+		k.Display.ServeJoined(prim, sib, fmt.Sprintf("video-%d-sub%d", prim.PID, i))
+		ps.Add(sib, k.Devs[i], label)
+	}
+	ps.SeedPick(startSub)
+	mflow.SetObserver(prim, "MFLOW", func(sub int, oneWay time.Duration, qdepth int) {
+		ps.NoteArrival(sub, oneWay, qdepth)
+	})
+	return ps, lport, nil
 }
 
 // Degrader returns the degradation controller attached to p via the

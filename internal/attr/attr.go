@@ -95,6 +95,19 @@ const (
 	// it to prove fused and unfused delivery are behaviour-identical.
 	// Value: bool.
 	NoFuse Name = "PA_NO_FUSE"
+	// MPathLink selects which parallel down link (NIC) a multipath subpath
+	// runs over: IP routes the path through its i-th "down" ETH service link
+	// and resolves next hops through that link's ARP state. Value: int
+	// (default 0, the only link of a single-homed appliance).
+	MPathLink Name = "PA_MPATH_LINK"
+	// MPathJoin marks a path as a sibling subpath of an existing multipath
+	// flow: MFLOW's stage joins the primary path's flow state (shared
+	// sequence space, hold buffer, and window) instead of creating its own.
+	// Value: *core.Path (the primary).
+	MPathJoin Name = "PA_MPATH_JOIN"
+	// MPathSub is the subpath index within a multipath flow's PathSet,
+	// used for trace/metrics labels. Value: int.
+	MPathSub Name = "PA_MPATH_SUB"
 )
 
 // Attrs is a mutable set of name/value pairs. A nil *Attrs behaves like an

@@ -101,6 +101,11 @@ func (r *Router) Link(name string) (Link, error) {
 	return ls[0], nil
 }
 
+// LinksOf returns every edge attached to the named service, in connection
+// order (may be empty). Multi-homed routers — IP over several parallel ETH
+// links — iterate this instead of assuming Link's unique peer.
+func (r *Router) LinksOf(name string) []Link { return r.links[r.ServiceIndex(name)] }
+
 // MustLink is Link but panics on error; for boot-time wiring.
 func (r *Router) MustLink(name string) Link {
 	l, err := r.Link(name)

@@ -67,7 +67,7 @@ func RunLoss(clip mpeg.ClipSpec) []LossRow {
 // a link with the given loss probability, returning the run's counters.
 // retransmit selects reliable MFLOW on the path and a retransmitting source.
 func LossMaxRate(clip mpeg.ClipSpec, loss float64, retransmit bool) LossCell {
-	eng, link := newWorld(1)
+	eng, link := newWorld(2)
 	if loss > 0 {
 		link.InjectFaults(netdev.FaultPlan{Loss: loss})
 	}

@@ -69,6 +69,21 @@ type Source struct {
 	h   *Host
 	cfg SourceConfig
 
+	// Multipath sender state: subflow i sends from subs[i].h/subs[i].port
+	// (empty = single-path, the Source's own host and SrcPort). Dispatch
+	// picks the subflow per packet; when nil everything rides subflow 0.
+	subs []subflow
+
+	// Dispatch, when set, picks the subflow for each outbound packet —
+	// typically an mpath.PathSet's Dispatch. It runs once per transmission
+	// (including retransmissions, retx=true) at sender dispatch time.
+	Dispatch func(seq uint32, retx bool) int
+	// OnSubAck observes each cumulatively acknowledged packet with the
+	// subflow it last rode; OnSubLoss observes each loss signal (fast
+	// retransmit or RTO) the same way. Both feed subpath quality tracking.
+	OnSubAck  func(sub int)
+	OnSubLoss func(sub int)
+
 	dst     inet.Addr
 	dstPort uint16
 
@@ -103,9 +118,16 @@ type Source struct {
 }
 
 type srcUnacked struct {
-	seq   uint32
-	idx   int // index into packets (payload is rebuilt on re-send)
-	tries int
+	seq     uint32
+	idx     int // index into packets (payload is rebuilt on re-send)
+	tries   int
+	lastSub int // subflow of the most recent transmission
+}
+
+// subflow is one sender endpoint of a multipath source.
+type subflow struct {
+	h    *Host
+	port uint16
 }
 
 // NewSource prepares the clip data. Real-mode encoding happens here, once.
@@ -183,12 +205,39 @@ func (s *Source) NumFrames() int {
 // Done reports whether every packet has been sent, and when.
 func (s *Source) Done() (bool, sim.Time) { return s.done, s.doneAt }
 
+// AddSubflow registers one more sender endpoint for multipath striping and
+// returns its subflow index. The first call promotes the Source's own
+// host/SrcPort to subflow 0. Each subflow's acks return to its own port, so
+// the handlers installed by Start cover every endpoint; call before Start.
+func (s *Source) AddSubflow(h *Host, srcPort uint16) int {
+	if len(s.subs) == 0 {
+		s.subs = append(s.subs, subflow{h: s.h, port: s.cfg.SrcPort})
+	}
+	s.subs = append(s.subs, subflow{h: h, port: srcPort})
+	return len(s.subs) - 1
+}
+
+// subflowCount reports how many subflows the source sends on (1 when
+// single-path).
+func (s *Source) subflowCount() int {
+	if len(s.subs) == 0 {
+		return 1
+	}
+	return len(s.subs)
+}
+
 // Start begins streaming to the Scout host's video port.
 func (s *Source) Start(dst inet.Addr, dstPort uint16) {
 	s.dst = dst
 	s.dstPort = dstPort
 	s.started = s.h.eng.Now()
-	s.h.OnUDP(s.cfg.SrcPort, s.onAck)
+	if len(s.subs) == 0 {
+		s.h.OnUDP(s.cfg.SrcPort, s.onAck)
+	} else {
+		for _, sf := range s.subs {
+			sf.h.OnUDP(sf.port, s.onAck)
+		}
+	}
 	s.trySend()
 }
 
@@ -231,6 +280,9 @@ func (s *Source) onAck(src inet.Participants, payload []byte) {
 func (s *Source) processAck(h mflow.Header) {
 	acked := false
 	for len(s.unacked) > 0 && s.unacked[0].seq <= h.Seq {
+		if s.OnSubAck != nil {
+			s.OnSubAck(s.unacked[0].lastSub)
+		}
 		s.unacked = s.unacked[1:]
 		acked = true
 	}
@@ -249,6 +301,9 @@ func (s *Source) processAck(h mflow.Header) {
 			// already in flight (a lost re-send falls back to the RTO).
 			s.frSeq = s.unacked[0].seq
 			s.FastRetransmits++
+			if s.OnSubLoss != nil {
+				s.OnSubLoss(s.unacked[0].lastSub)
+			}
 			s.resend(&s.unacked[0])
 		}
 	default:
@@ -257,11 +312,12 @@ func (s *Source) processAck(h mflow.Header) {
 	}
 }
 
-// resend re-sends one unacknowledged packet with a fresh timestamp.
+// resend re-sends one unacknowledged packet with a fresh timestamp; the
+// dispatch policy may move it to a different subflow than the original.
 func (s *Source) resend(u *srcUnacked) {
 	u.tries++
 	s.Retransmits++
-	s.sendPacket(u.seq, u.idx)
+	u.lastSub = s.sendPacket(u.seq, u.idx, true)
 }
 
 // rto returns the current retransmission timeout: twice the smoothed RTT,
@@ -299,6 +355,9 @@ func (s *Source) onRTO() {
 	}
 	s.RTOs++
 	u := &s.unacked[0]
+	if s.OnSubLoss != nil {
+		s.OnSubLoss(u.lastSub)
+	}
 	if u.tries >= s.cfg.MaxTries {
 		s.Abandoned++
 		s.unacked = s.unacked[1:]
@@ -312,14 +371,27 @@ func (s *Source) onRTO() {
 }
 
 // sendPacket wraps one prepared ALF packet in an MFLOW data header (fresh
-// timestamp) and ships it to the Scout host.
-func (s *Source) sendPacket(seq uint32, idx int) {
+// timestamp), asks the dispatch policy which subflow carries it, and ships
+// it to the Scout host. Returns the subflow used.
+func (s *Source) sendPacket(seq uint32, idx int, retx bool) int {
+	sub := 0
+	if s.Dispatch != nil {
+		sub = s.Dispatch(seq, retx)
+	}
+	if sub < 0 || sub >= s.subflowCount() {
+		sub = 0
+	}
 	alf := s.packets[idx]
 	payload := make([]byte, mflow.HeaderLen+len(alf))
 	mflow.Header{Kind: mflow.KindData, Seq: seq, TS: int64(s.h.eng.Now())}.Put(payload[:mflow.HeaderLen])
 	copy(payload[mflow.HeaderLen:], alf)
-	s.h.SendUDP(s.dst, s.dstPort, s.cfg.SrcPort, payload)
+	h, port := s.h, s.cfg.SrcPort
+	if len(s.subs) > 0 {
+		h, port = s.subs[sub].h, s.subs[sub].port
+	}
+	h.SendUDP(s.dst, s.dstPort, port, payload)
 	s.PacketsSent++
+	return sub
 }
 
 // trySend transmits every packet the window (and pacing) currently allows.
@@ -344,9 +416,9 @@ func (s *Source) trySend() {
 			}
 		}
 		s.seq++
-		s.sendPacket(s.seq, s.next)
+		sub := s.sendPacket(s.seq, s.next, false)
 		if s.cfg.Retransmit {
-			s.unacked = append(s.unacked, srcUnacked{seq: s.seq, idx: s.next, tries: 1})
+			s.unacked = append(s.unacked, srcUnacked{seq: s.seq, idx: s.next, tries: 1, lastSub: sub})
 			if s.rtoTimer == nil {
 				s.armRTO()
 			}
@@ -376,7 +448,7 @@ func (s *Source) trySend() {
 			}
 			if s.seq+1 > s.win && s.next > 0 {
 				s.Probes++
-				s.sendPacket(s.seq, s.next-1)
+				s.sendPacket(s.seq, s.next-1, true)
 			}
 			s.trySend() // re-arms the probe while still blocked
 		})

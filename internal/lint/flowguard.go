@@ -14,8 +14,8 @@ import (
 // both are flagged statically:
 //
 //   - mutation calls from packages outside the control plane (core, netdev,
-//     proto/*, appliance): experiments, hosts and tools must drive the cache
-//     through protocol operations, never poke it directly;
+//     proto/*, appliance, mpath): experiments, hosts and tools must drive the
+//     cache through protocol operations, never poke it directly;
 //   - mutation calls inside a `go` statement anywhere: a spawned goroutine
 //     escapes the event loop and races every unlocked cache access.
 //
@@ -44,6 +44,10 @@ var flowControlPlane = []string{
 	"/internal/netdev",
 	"/internal/proto/",
 	"/internal/appliance",
+	// mpath's re-pin is a control-plane event by design: retiring a subpath
+	// fans into its device's flow cache as an InvalidatePath, all from
+	// sender-dispatch context inside the event loop.
+	"/internal/mpath",
 }
 
 func runFlowGuard(pass *Pass) {
@@ -88,7 +92,7 @@ func runFlowGuard(pass *Pass) {
 			case inGo(call):
 				pass.Reportf(call.Pos(), "%s.%s inside a spawned goroutine races the engine's single-threaded event loop; mutate the flow cache from sim-event context only", recv, method)
 			case !allowed:
-				pass.Reportf(call.Pos(), "%s.%s outside the control plane (core, netdev, proto/*, appliance); drive cache state through protocol operations instead", recv, method)
+				pass.Reportf(call.Pos(), "%s.%s outside the control plane (core, netdev, proto/*, appliance, mpath); drive cache state through protocol operations instead", recv, method)
 			}
 			return true
 		})

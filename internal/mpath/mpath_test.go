@@ -1,0 +1,159 @@
+package mpath
+
+import (
+	"testing"
+	"time"
+
+	"scout/internal/core"
+	"scout/internal/netdev"
+	"scout/internal/sim"
+)
+
+func newSet(t *testing.T, policy Policy, k int) *PathSet {
+	t.Helper()
+	ps := New("test", policy)
+	for i := 0; i < k; i++ {
+		ps.Add(&core.Path{}, nil, "sub")
+	}
+	return ps
+}
+
+func TestPinnedNeverSwitches(t *testing.T) {
+	ps := newSet(t, Pinned(1), 3)
+	for seq := uint32(1); seq <= 100; seq++ {
+		if got := ps.Dispatch(seq, false); got != 1 {
+			t.Fatalf("seq %d: pick %d, want 1", seq, got)
+		}
+	}
+	if ps.Switches() != 0 || ps.Repins() != 0 {
+		t.Fatalf("pinned switched: %d switches, %d repins", ps.Switches(), ps.Repins())
+	}
+}
+
+func TestRoundRobinStripes(t *testing.T) {
+	ps := newSet(t, RoundRobinStripe(), 3)
+	for seq := uint32(1); seq <= 9; seq++ {
+		if got, want := ps.Dispatch(seq, false), int(seq%3); got != want {
+			t.Fatalf("seq %d: pick %d, want %d", seq, got, want)
+		}
+	}
+	// Striping changes subpath per packet but never re-pins.
+	if ps.Switches() == 0 || ps.Repins() != 0 {
+		t.Fatalf("stripe accounting: %d switches, %d repins", ps.Switches(), ps.Repins())
+	}
+}
+
+func TestLatencyGreedyFollowsEWMA(t *testing.T) {
+	ps := newSet(t, LatencyGreedy(), 3)
+	// Unsampled subpaths score zero, so the scan explores in ID order as
+	// samples arrive.
+	if got := ps.Dispatch(1, false); got != 0 {
+		t.Fatalf("first pick %d, want 0", got)
+	}
+	ps.NoteArrival(0, 100*time.Microsecond, 0)
+	if got := ps.Dispatch(2, false); got != 1 {
+		t.Fatalf("after sampling 0: pick %d, want 1 (unsampled)", got)
+	}
+	ps.NoteArrival(1, 50*time.Microsecond, 0)
+	if got := ps.Dispatch(3, false); got != 2 {
+		t.Fatalf("after sampling 1: pick %d, want 2 (unsampled)", got)
+	}
+	ps.NoteArrival(2, 200*time.Microsecond, 0)
+	if got := ps.Dispatch(4, false); got != 1 {
+		t.Fatalf("all sampled: pick %d, want 1 (lowest EWMA)", got)
+	}
+}
+
+func TestLossAwareHysteresisDamps(t *testing.T) {
+	ps := newSet(t, LossAwareEWMA(), 2)
+	// Clean start: stays on the incumbent.
+	for seq := uint32(1); seq <= 10; seq++ {
+		if got := ps.Dispatch(seq, false); got != 0 {
+			t.Fatalf("clean flow moved to %d", got)
+		}
+		ps.NoteArrival(0, 100*time.Microsecond, 0)
+	}
+	// One loss event is inside the margin: no move.
+	ps.NoteLoss(0)
+	if got := ps.Dispatch(11, false); got != 0 {
+		t.Fatalf("single loss already moved the flow")
+	}
+	// Sustained loss on 0 diverges the estimates past the margin.
+	for i := 0; i < 10; i++ {
+		ps.NoteLoss(0)
+	}
+	if got := ps.Dispatch(12, false); got != 1 {
+		t.Fatalf("sustained loss: pick %d, want 1", got)
+	}
+	// And it stays there: the clean subpath never yields back to the lossy
+	// one while the estimates stand.
+	for seq := uint32(13); seq <= 50; seq++ {
+		if got := ps.Dispatch(seq, false); got != 1 {
+			t.Fatalf("flow oscillated back to %d", got)
+		}
+		ps.NoteArrival(1, 100*time.Microsecond, 0)
+	}
+	if ps.Switches() != 1 || ps.Repins() != 1 {
+		t.Fatalf("want exactly one switch/repin, got %d/%d", ps.Switches(), ps.Repins())
+	}
+}
+
+// A re-pin must invalidate the retired subpath's device flow cache —
+// advancing its generation — so the interrupt-time fast path cannot keep
+// delivering to a superseded subpath.
+func TestRepinBumpsFlowCacheGen(t *testing.T) {
+	eng := sim.New(1)
+	l0 := netdev.NewLink(eng, netdev.LinkConfig{ID: 0})
+	l1 := netdev.NewLink(eng, netdev.LinkConfig{ID: 1})
+	d0 := netdev.NewDevice(l0, netdev.MAC{2, 0, 0, 0, 0, 1}, nil)
+	d1 := netdev.NewDevice(l1, netdev.MAC{2, 0, 0, 0, 0, 2}, nil)
+	d0.Flows = core.NewFlowCache(16)
+	d1.Flows = core.NewFlowCache(16)
+
+	ps := New("flow", LatencyGreedy())
+	ps.Add(&core.Path{}, d0, "sub0")
+	ps.Add(&core.Path{}, d1, "sub1")
+
+	if got := ps.Dispatch(1, false); got != 0 {
+		t.Fatalf("first pick %d, want 0", got)
+	}
+	gen0 := d0.Flows.Gen()
+	// Make subpath 1 strictly better; the next dispatch re-pins 0 → 1.
+	ps.NoteArrival(0, 500*time.Microsecond, 0)
+	ps.NoteArrival(1, 50*time.Microsecond, 0)
+	if got := ps.Dispatch(2, false); got != 1 {
+		t.Fatalf("re-pin pick %d, want 1", got)
+	}
+	if ps.Repins() != 1 {
+		t.Fatalf("repins = %d, want 1", ps.Repins())
+	}
+	if d0.Flows.Gen() == gen0 {
+		t.Fatalf("retired subpath's flow-cache generation did not advance")
+	}
+	if d1.Flows.Gen() != 0 {
+		t.Fatalf("winning subpath's cache was invalidated (gen %d)", d1.Flows.Gen())
+	}
+}
+
+// Policies are pure functions of observed state: the same script of
+// observations and dispatches yields the same pick sequence.
+func TestDispatchDeterministic(t *testing.T) {
+	run := func() []int {
+		ps := newSet(t, LossAwareEWMA(), 4)
+		var picks []int
+		for seq := uint32(1); seq <= 200; seq++ {
+			picks = append(picks, ps.Dispatch(seq, false))
+			ps.NoteArrival(int(seq%4), time.Duration(50+seq%7)*time.Microsecond, int(seq%3))
+			if seq%11 == 0 {
+				ps.NoteLoss(int(seq % 4))
+			}
+		}
+		return picks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package mpath
+
+import (
+	"fmt"
+	"time"
+)
+
+// The four selection/striping policies. Scoring scans subpaths by index —
+// ties break toward the lowest ID — so every decision is deterministic in
+// the observed quality state.
+
+// PolicyNames lists the selectable policy names in report order.
+var PolicyNames = []string{"pinned", "round-robin-stripe", "latency-greedy", "loss-aware-ewma"}
+
+// ByName returns the named policy. pinnedSub is only used by "pinned" (the
+// static baseline: the flow never leaves that subpath).
+func ByName(name string, pinnedSub int) (Policy, error) {
+	switch name {
+	case "pinned":
+		return Pinned(pinnedSub), nil
+	case "round-robin-stripe":
+		return RoundRobinStripe(), nil
+	case "latency-greedy":
+		return LatencyGreedy(), nil
+	case "loss-aware-ewma":
+		return LossAwareEWMA(), nil
+	}
+	return nil, fmt.Errorf("mpath: unknown policy %q", name)
+}
+
+// pinned statically binds the flow to one subpath — the baseline every
+// adaptive policy is measured against, and the victim when its subpath
+// degrades.
+type pinned struct{ sub int }
+
+// Pinned returns the static baseline policy bound to subpath sub.
+func Pinned(sub int) Policy { return pinned{sub: sub} }
+
+func (p pinned) Name() string { return "pinned" }
+func (p pinned) Repin() bool  { return true }
+func (p pinned) Pick(ps *PathSet, seq uint32, retx bool) int {
+	if p.sub >= 0 && p.sub < ps.K() {
+		return p.sub
+	}
+	return 0
+}
+
+// rrStripe spreads packets across all subpaths in sequence-number order:
+// maximum parallelism, maximum reordering for the receiver to absorb. Not a
+// re-pinning policy — per-packet spreading is its steady state, and every
+// subpath's flow-cache binding stays live.
+type rrStripe struct{}
+
+// RoundRobinStripe returns the striping policy.
+func RoundRobinStripe() Policy { return rrStripe{} }
+
+func (rrStripe) Name() string { return "round-robin-stripe" }
+func (rrStripe) Repin() bool  { return false }
+func (rrStripe) Pick(ps *PathSet, seq uint32, retx bool) int {
+	if k := ps.K(); k > 0 {
+		return int(seq % uint32(k))
+	}
+	return 0
+}
+
+// latencyGreedy always takes the subpath with the lowest latency EWMA.
+// Unsampled subpaths score as zero, so each gets explored once before real
+// measurements take over. This is the axiomatically "selfish" strategy the
+// path-selection literature analyzes: with many flows sharing a path set it
+// herds onto whichever subpath looks fastest, drives its queues up, and
+// oscillates — the switch counter makes that pathology measurable.
+type latencyGreedy struct{}
+
+// LatencyGreedy returns the greedy lowest-latency policy.
+func LatencyGreedy() Policy { return latencyGreedy{} }
+
+func (latencyGreedy) Name() string { return "latency-greedy" }
+func (latencyGreedy) Repin() bool  { return true }
+func (latencyGreedy) Pick(ps *PathSet, seq uint32, retx bool) int {
+	best, bestLat := 0, time.Duration(-1)
+	for i := 0; i < ps.K(); i++ {
+		lat := ps.Sub(i).LatEWMA()
+		if bestLat < 0 || lat < bestLat {
+			best, bestLat = i, lat
+		}
+	}
+	return best
+}
+
+// lossAwareEWMA ranks subpaths by loss estimate with hysteresis: the flow
+// stays where it is unless another subpath is meaningfully cleaner (its
+// loss EWMA lower by at least the hysteresis margin), with latency as the
+// tiebreak among equally clean subpaths. The margin is what damps the
+// greedy policy's oscillation: quality has to diverge, not merely jitter,
+// before the flow moves.
+type lossAwareEWMA struct {
+	hysteresis float64
+}
+
+// LossAwareEWMA returns the loss-ranked policy with the default hysteresis
+// margin, sized just above the estimate bump of a single loss event (1 in
+// lossGain ≈ 0.031): one unlucky packet is jitter, a second in short order
+// is divergence.
+func LossAwareEWMA() Policy { return lossAwareEWMA{hysteresis: 0.04} }
+
+func (lossAwareEWMA) Name() string { return "loss-aware-ewma" }
+func (lossAwareEWMA) Repin() bool  { return true }
+func (p lossAwareEWMA) Pick(ps *PathSet, seq uint32, retx bool) int {
+	cur := ps.LastPick()
+	if cur >= ps.K() {
+		cur = 0
+	}
+	curLoss := ps.Sub(cur).LossEWMA()
+	best, bestLoss, bestLat := cur, curLoss, ps.Sub(cur).LatEWMA()
+	for i := 0; i < ps.K(); i++ {
+		if i == cur {
+			continue
+		}
+		s := ps.Sub(i)
+		loss, lat := s.LossEWMA(), s.LatEWMA()
+		if best == cur {
+			// The incumbent only yields to a challenger that beats it by
+			// the full margin: quality has to diverge, not merely jitter.
+			if loss < curLoss-p.hysteresis {
+				best, bestLoss, bestLat = i, loss, lat
+			}
+			continue
+		}
+		// Among challengers: lowest loss wins, then lowest latency, then
+		// lowest ID (scan order).
+		if loss < bestLoss || (loss == bestLoss && lat < bestLat) {
+			best, bestLoss, bestLat = i, loss, lat
+		}
+	}
+	return best
+}

@@ -10,8 +10,9 @@ import (
 // FaultPlan describes deterministic fault injection: a plan installed on a
 // Link subjects matching frames to adverse wire behaviour — independent
 // loss, burst loss, duplication, deliberate reordering, byte corruption —
-// with every random decision drawn from the simulation engine's seeded
-// source, so a faulty run replays bit-for-bit. This is the adversarial
+// with every random decision drawn from the link's own seeded stream
+// (engine seed ⊕ link ID), so a faulty run replays bit-for-bit and
+// parallel links fault independently of one another. This is the adversarial
 // regime the loss experiment (E9) drives the protocol stack through. All
 // probabilities are per frame in [0, 1).
 type FaultPlan struct {
@@ -94,8 +95,10 @@ func (l *Link) matchFaults(src *Device, dst MAC, m *msg.Msg) *faultState {
 
 // lossRoll decides whether the frame is dropped on the wire, combining the
 // link's base loss probability with the fault plan's loss and burst models.
+// Every draw comes from the link's own derived stream, so parallel links see
+// uncorrelated faults regardless of how their transmissions interleave.
 func (l *Link) lossRoll(fs *faultState) bool {
-	if l.cfg.Loss > 0 && l.eng.Rand().Float64() < l.cfg.Loss {
+	if l.cfg.Loss > 0 && l.frand.Float64() < l.cfg.Loss {
 		return true
 	}
 	if fs == nil {
@@ -106,14 +109,14 @@ func (l *Link) lossRoll(fs *faultState) bool {
 		fs.stats.BurstLost++
 		return true
 	}
-	if fs.plan.Loss > 0 && l.eng.Rand().Float64() < fs.plan.Loss {
+	if fs.plan.Loss > 0 && l.frand.Float64() < fs.plan.Loss {
 		fs.stats.Lost++
 		return true
 	}
-	if fs.plan.BurstLoss > 0 && l.eng.Rand().Float64() < fs.plan.BurstLoss {
+	if fs.plan.BurstLoss > 0 && l.frand.Float64() < fs.plan.BurstLoss {
 		// Burst length uniform on [1, 2·mean-1] keeps the configured mean;
 		// this frame is the first of the burst.
-		fs.burstLeft = l.eng.Rand().Intn(2*fs.plan.BurstLen - 1)
+		fs.burstLeft = l.frand.Intn(2*fs.plan.BurstLen - 1)
 		fs.stats.BurstLost++
 		return true
 	}

@@ -7,6 +7,7 @@ package netdev
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"scout/internal/core"
@@ -35,6 +36,12 @@ const ethHeaderLen = 14
 
 // LinkConfig describes a simulated shared link.
 type LinkConfig struct {
+	// ID distinguishes parallel links of one engine. Fault randomness (the
+	// base Loss and every FaultPlan draw) comes from a per-link stream
+	// derived from engine-seed and ID, so sibling links suffer uncorrelated
+	// faults no matter how their transmissions interleave. Links that never
+	// coexist can share an ID (the default 0).
+	ID int
 	// BitsPerSec is the link bandwidth; it determines frame serialization
 	// time. Defaults to 10 Mb/s (the paper's era Ethernet) when zero.
 	BitsPerSec int64
@@ -56,6 +63,7 @@ type Link struct {
 	busyUntil   sim.Time
 	lastArrival sim.Time // monotone delivery watermark (per-link FIFO)
 	faults      *faultState
+	frand       *rand.Rand // per-link fault stream (engine seed ⊕ link ID)
 	sent        int64
 	dropped     int64
 	delivered   int64
@@ -66,8 +74,11 @@ func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
 	if cfg.BitsPerSec <= 0 {
 		cfg.BitsPerSec = 10_000_000
 	}
-	return &Link{eng: eng, cfg: cfg, devs: make(map[MAC]*Device)}
+	return &Link{eng: eng, cfg: cfg, devs: make(map[MAC]*Device), frand: eng.DeriveRand(int64(cfg.ID))}
 }
+
+// ID reports the link's configured identifier.
+func (l *Link) ID() int { return l.cfg.ID }
 
 // Stats reports (frames sent, frames dropped by loss, frames delivered).
 func (l *Link) Stats() (sent, dropped, delivered int64) {
@@ -105,12 +116,12 @@ func (l *Link) transmit(src *Device, dst MAC, m *msg.Msg) {
 		m.Free()
 		return
 	}
-	if fs != nil && fs.plan.Corrupt > 0 && l.eng.Rand().Float64() < fs.plan.Corrupt {
-		corruptFrame(l.eng.Rand(), m)
+	if fs != nil && fs.plan.Corrupt > 0 && l.frand.Float64() < fs.plan.Corrupt {
+		corruptFrame(l.frand, m)
 		fs.stats.Corrupted++
 	}
 	l.schedule(src, dst, m, l.busyUntil, fs)
-	if fs != nil && fs.plan.Dup > 0 && l.eng.Rand().Float64() < fs.plan.Dup {
+	if fs != nil && fs.plan.Dup > 0 && l.frand.Float64() < fs.plan.Dup {
 		fs.stats.Dupped++
 		// The copy occupies the medium like any other frame.
 		l.busyUntil = l.busyUntil.Add(ser)
@@ -126,12 +137,12 @@ func (l *Link) schedule(src *Device, dst MAC, m *msg.Msg, txEnd sim.Time, fs *fa
 	if l.cfg.Jitter > 0 {
 		arrive = arrive.Add(time.Duration(l.eng.Rand().Int63n(int64(l.cfg.Jitter))))
 	}
-	if fs != nil && fs.plan.Reorder > 0 && l.eng.Rand().Float64() < fs.plan.Reorder {
+	if fs != nil && fs.plan.Reorder > 0 && l.frand.Float64() < fs.plan.Reorder {
 		fs.stats.Reordered++
 		// Deliberate reordering: hold the frame past its successors. Held
 		// frames bypass the monotonicity clamp below and do not advance
 		// the watermark.
-		extra := 1 + l.eng.Rand().Int63n(int64(fs.plan.ReorderDelay))
+		extra := 1 + l.frand.Int63n(int64(fs.plan.ReorderDelay))
 		l.eng.At(arrive.Add(time.Duration(extra)), func() { l.deliver(src, dst, m) })
 		return
 	}

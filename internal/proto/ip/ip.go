@@ -132,7 +132,8 @@ type Impl struct {
 	PendingLimit int
 
 	router    *core.Router
-	ethImpl   *eth.Impl
+	ethImpl   *eth.Impl  // first down link; reassembly redelivers through it
+	eths      []*eth.Impl // all down links, connection order (parallel NICs)
 	arpImpl   *arp.Impl
 	byProto   map[uint8]func(m *msg.Msg) (*core.Path, error)
 	reasmPath *core.Path
@@ -171,18 +172,24 @@ func (p *Impl) Services() []core.ServiceSpec {
 	}
 }
 
-// Init wires IP into ETH and ARP and creates the reassembly path.
+// Init wires IP into every down ETH and into ARP, and creates the
+// reassembly path. A multi-homed appliance connects "down" to several
+// parallel ETH routers; the classifier is bound on each, so an IP datagram
+// is demuxed identically whichever NIC it arrives on.
 func (p *Impl) Init(r *core.Router) error {
 	p.router = r
-	down, err := r.Link("down")
-	if err != nil {
-		return err
+	downs := r.LinksOf("down")
+	if len(downs) == 0 {
+		return errors.New("ip: no down link")
 	}
-	ei, ok := down.Peer.Impl.(*eth.Impl)
-	if !ok {
-		return fmt.Errorf("ip: down peer %s is not ETH", down.Peer.Name)
+	for _, down := range downs {
+		ei, ok := down.Peer.Impl.(*eth.Impl)
+		if !ok {
+			return fmt.Errorf("ip: down peer %s is not ETH", down.Peer.Name)
+		}
+		p.eths = append(p.eths, ei)
 	}
-	p.ethImpl = ei
+	p.ethImpl = p.eths[0]
 	res, err := r.Link("res")
 	if err != nil {
 		return err
@@ -193,8 +200,10 @@ func (p *Impl) Init(r *core.Router) error {
 	}
 	p.arpImpl = ai
 
-	if err := ei.BindType(inet.EtherTypeIP, p.classify); err != nil {
-		return err
+	for _, ei := range p.eths {
+		if err := ei.BindType(inet.EtherTypeIP, p.classify); err != nil {
+			return err
+		}
 	}
 
 	// Short/fat path for all fragmented IP packets (§2.5).
@@ -263,6 +272,7 @@ func (p *Impl) Stats() Stats { return p.stats }
 type ipStage struct {
 	impl        *Impl
 	proto       uint8
+	linkIdx     int // which parallel down link the path descends to
 	remote      inet.Addr
 	nextHop     inet.Addr
 	resolved    bool
@@ -292,6 +302,11 @@ func (p *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 	sd := &ipStage{impl: p}
 	if v, ok := a.Int(attr.ProtID); ok {
 		sd.proto = uint8(v)
+	}
+	downs := r.LinksOf("down")
+	sd.linkIdx = a.IntDefault(attr.MPathLink, 0)
+	if sd.linkIdx < 0 || sd.linkIdx >= len(downs) {
+		return nil, nil, fmt.Errorf("ip: link %d out of range (%d down links)", sd.linkIdx, len(downs))
 	}
 	if v, ok := a.Get(attr.NetParticipants); ok {
 		part, ok := v.(inet.Participants)
@@ -327,7 +342,7 @@ func (p *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 		if sd.nextHop == (inet.Addr{}) {
 			return nil // receive-only or degenerate path
 		}
-		p.arpImpl.Resolve(sd.nextHop, func(mac netdev.MAC, ok bool) {
+		p.arpImpl.ResolveOn(sd.linkIdx, sd.nextHop, func(mac netdev.MAC, ok bool) {
 			if !ok {
 				sd.failed = true
 				for _, q := range sd.pending {
@@ -362,14 +377,11 @@ func (p *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stag
 
 	// The next-higher protocol id for ETH is IP's ether type (§4.1).
 	a.Set(attr.ProtID, inet.EtherTypeIP)
-	down, err := r.Link("down")
-	if err != nil {
-		return nil, nil, err
-	}
 	if sd.nextHop == (inet.Addr{}) && enter == core.NoService {
 		// No routing decision possible: path ends here.
 		return s, nil, nil
 	}
+	down := downs[sd.linkIdx]
 	return s, &core.NextHop{Router: down.Peer, Service: down.PeerService}, nil
 }
 
@@ -414,11 +426,11 @@ func (sd *ipStage) output(i *core.NetIface, m *msg.Msg) error {
 			m.Free()
 			return errors.New("ip: no route to " + dst.String())
 		}
-		cached, ok := p.arpImpl.Lookup(nh)
+		cached, ok := p.arpImpl.LookupOn(sd.linkIdx, nh)
 		if !ok {
 			// Resolve asynchronously and re-deliver when answered.
 			keep := m
-			p.arpImpl.Resolve(nh, func(found netdev.MAC, ok bool) {
+			p.arpImpl.ResolveOn(sd.linkIdx, nh, func(found netdev.MAC, ok bool) {
 				if !ok {
 					keep.Free()
 					return

@@ -1,6 +1,7 @@
 package ip
 
 import (
+	"errors"
 	"sort"
 
 	"scout/internal/attr"
@@ -49,10 +50,14 @@ func (p *Impl) createReasmStage(r *core.Router, a *attr.Attrs) (*core.Stage, *co
 		return i.DeliverNext(m) // never used; receive-only path
 	}))
 	a.Set(attr.ProtID, inet.EtherTypeIP)
-	down, err := r.Link("down")
-	if err != nil {
-		return nil, nil, err
+	// The reassembly path descends to the first down link; fragments from
+	// any NIC land here via that link's classifier, and the rebuilt datagram
+	// re-enters classification through the same ETH (see redeliver).
+	downs := r.LinksOf("down")
+	if len(downs) == 0 {
+		return nil, nil, errors.New("ip: no down link")
 	}
+	down := downs[0]
 	return s, &core.NextHop{Router: down.Peer, Service: down.PeerService}, nil
 }
 

@@ -158,7 +158,11 @@ func (f *Impl) Demux(r *core.Router, enter int, m *msg.Msg) (*core.Path, error) 
 	return nil, core.ErrNoPath
 }
 
-// flowState is the per-path receiver/sender state.
+// flowState is the per-flow receiver/sender state. A single-path flow owns
+// exactly one; a multipath flow shares one flowState across the primary path
+// and every joined sibling subpath (PA_MPATH_JOIN), which is what gives the
+// flow one sequence space, one hold buffer, and one advertised window no
+// matter how many links its packets arrive over.
 type flowState struct {
 	impl     *Impl
 	reliable bool
@@ -171,6 +175,7 @@ type flowState struct {
 	started   bool
 	cumSeq    uint32
 	maxSeq    uint32
+	holdSeq   uint32 // cumSeq when the hold timer was armed (which hole it watches)
 	winCap    uint32 // advertised-window cap beyond cumSeq (0 = uncapped)
 	recent    map[uint32]bool
 	held      map[uint32]*msg.Msg
@@ -178,7 +183,19 @@ type flowState struct {
 	sinceAck  int
 	lastTS    int64
 	inQ       *core.Queue
-	bwdIface  *core.NetIface // for deliveries from timer context
+	// arrivals lists every subpath's arrival state in join order (the
+	// primary first). The advertised window is bounded by the *tightest*
+	// subpath queue: a striping sender spreads the in-flight window over
+	// all of them, so advertising one queue's free space would overflow
+	// the others.
+	arrivals []*arrival
+	bwdIface  *core.NetIface // primary path's BWD iface: all upward deliveries
+
+	// observer, when set, sees every data arrival with the subpath it came
+	// in on, the sender→receiver one-way latency on the shared virtual
+	// clock, and the arrival path's device-end queue depth — the
+	// pathtrace-style quality feed multipath selection policies consume.
+	observer func(sub int, oneWay time.Duration, qdepth int)
 
 	// Sender state.
 	nextOut  uint32
@@ -204,38 +221,82 @@ type unackedPkt struct {
 	tries int
 }
 
-// CreateStage contributes the MFLOW stage.
+// arrival identifies which subpath of a flow an MFLOW packet came in on:
+// the subpath index (0 for the primary or a single-path flow) and the
+// arrival path's device-end input queue, sampled for the quality observer.
+type arrival struct {
+	sub int
+	inQ *core.Queue
+}
+
+// CreateStage contributes the MFLOW stage. With PA_MPATH_JOIN set to an
+// established primary path, the stage joins that path's flow: it shares the
+// primary's flowState (sequence space, hold buffer, window, stats) and its
+// own path only carries packets — data delivered upward re-enters the
+// primary's chain above MFLOW, while acks turn around on whichever subpath
+// the data arrived on, so each link's acks measure that link's round trip.
 func (f *Impl) CreateStage(r *core.Router, enter int, a *attr.Attrs) (*core.Stage, *core.NextHop, error) {
-	fs := &flowState{impl: f}
-	if v, ok := a.Get(attr.MFLOWReliable); ok {
-		fs.reliable, _ = v.(bool)
-	}
-	if fs.reliable {
-		fs.held = make(map[uint32]*msg.Msg)
+	var fs *flowState
+	joined := false
+	if v, ok := a.Get(attr.MPathJoin); ok {
+		prim, ok := v.(*core.Path)
+		if !ok || prim == nil {
+			return nil, nil, errors.New("mflow: PA_MPATH_JOIN is not a *core.Path")
+		}
+		ps := prim.StageOf(r.Name)
+		if ps == nil {
+			return nil, nil, errors.New("mflow: join target has no MFLOW stage")
+		}
+		pfs, ok := ps.Data.(*flowState)
+		if !ok {
+			return nil, nil, errors.New("mflow: join target's MFLOW stage has foreign state")
+		}
+		fs = pfs
+		joined = true
 	} else {
-		fs.recent = make(map[uint32]bool)
+		fs = &flowState{impl: f}
+		if v, ok := a.Get(attr.MFLOWReliable); ok {
+			fs.reliable, _ = v.(bool)
+		}
+		if fs.reliable {
+			fs.held = make(map[uint32]*msg.Msg)
+		} else {
+			fs.recent = make(map[uint32]bool)
+		}
 	}
+	ar := &arrival{sub: a.IntDefault(attr.MPathSub, 0)}
+	fs.arrivals = append(fs.arrivals, ar)
 	s := &core.Stage{Data: fs}
 	fwd := core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
 		return fs.output(i, m)
 	})
 	bwd := core.NewNetIface(func(i *core.NetIface, m *msg.Msg) error {
-		return fs.input(i, m)
+		return fs.input(i, m, ar)
 	})
 	s.SetIface(core.FWD, fwd)
 	s.SetIface(core.BWD, bwd)
-	fs.fwdIface, fs.bwdIface = fwd, bwd
+	if !joined {
+		fs.fwdIface, fs.bwdIface = fwd, bwd
+	}
 	s.Establish = func(s *core.Stage, a *attr.Attrs) error {
-		// The input queue whose free space backs the advertised window
-		// sits at the device end of the path.
+		// The input queue at the device end of this path: for the flow's
+		// primary it backs the advertised window; for every subpath it
+		// feeds the quality observer's queue-depth sample.
 		d, ok := s.Path.IncomingDir(s.Path.End[1].Router.Name)
 		if !ok {
 			d = core.BWD
 		}
-		fs.inQ = s.Path.Q[core.QIn(d)]
+		ar.inQ = s.Path.Q[core.QIn(d)]
+		if !joined {
+			fs.inQ = ar.inQ
+		}
 		return nil
 	}
-	s.Destroy = func(s *core.Stage) { fs.teardown() }
+	if !joined {
+		// A joined sibling's death must not tear down the shared flow: only
+		// the primary owns the timers and buffers.
+		s.Destroy = func(s *core.Stage) { fs.teardown() }
+	}
 	down, err := r.Link("down")
 	if err != nil {
 		return nil, nil, err
@@ -310,8 +371,10 @@ func (fs *flowState) ackedUpTo() uint32 {
 
 // input processes an arriving MFLOW packet: acks feed the sender machinery;
 // data is deduplicated, delivered (resequenced in reliable mode), and
-// acknowledged.
-func (fs *flowState) input(i *core.NetIface, m *msg.Msg) error {
+// acknowledged. i is the arrival subpath's iface — acks turn around on it —
+// while data always climbs the primary's chain (fs.bwdIface); for a
+// single-path flow the two are the same iface.
+func (fs *flowState) input(i *core.NetIface, m *msg.Msg, ar *arrival) error {
 	f := fs.impl
 	p := i.Path()
 	p.ChargeExec(f.PerPacketCost)
@@ -331,6 +394,13 @@ func (fs *flowState) input(i *core.NetIface, m *msg.Msg) error {
 		}
 		m.Free()
 		return nil
+	}
+	if fs.observer != nil {
+		depth := 0
+		if ar.inQ != nil {
+			depth = ar.inQ.Len()
+		}
+		fs.observer(ar.sub, f.eng.Now().Sub(sim.Time(h.TS)), depth)
 	}
 	fs.lastTS = h.TS
 	if !fs.started {
@@ -371,7 +441,7 @@ func (fs *flowState) input(i *core.NetIface, m *msg.Msg) error {
 	}
 	fs.stats.Delivered++
 	fs.ackMaybe(i)
-	return i.DeliverNext(m)
+	return fs.bwdIface.DeliverNext(m)
 }
 
 // inputReliable resequences: in-order data flows upward at once (pulling any
@@ -385,7 +455,7 @@ func (fs *flowState) inputReliable(i *core.NetIface, h Header, m *msg.Msg) error
 	if h.Seq == fs.cumSeq+1 {
 		fs.cumSeq++
 		fs.stats.Delivered++
-		err := i.DeliverNext(m)
+		err := fs.bwdIface.DeliverNext(m)
 		fs.drainHeld()
 		fs.ackMaybe(i)
 		return err
@@ -393,8 +463,8 @@ func (fs *flowState) inputReliable(i *core.NetIface, h Header, m *msg.Msg) error
 	fs.held[h.Seq] = m
 	if uint32(len(fs.held)) > f.RecentWindow {
 		fs.flushHeld()
-	} else if fs.holdTimer == nil {
-		fs.holdTimer = f.eng.After(f.HoldTimeout, fs.onHoldTimeout)
+	} else {
+		fs.rearmHold()
 	}
 	// The duplicate ack below (still carrying the old cumSeq) is what
 	// drives the sender's fast retransmit.
@@ -416,9 +486,29 @@ func (fs *flowState) drainHeld() {
 			break // the upper stage consumed (and freed) the message
 		}
 	}
-	if len(fs.held) == 0 && fs.holdTimer != nil {
-		fs.holdTimer.Cancel()
-		fs.holdTimer = nil
+	fs.rearmHold()
+}
+
+// rearmHold keeps the hold timer honest about *which* hole it is waiting
+// out: whenever the cumulative watermark moves while packets are still held,
+// the oldest hole is a different (younger) one and its clock must restart.
+// Without this the timer ages against a long-filled hole and gives up on
+// healthy in-flight packets at a fixed cadence — fatal under cross-path
+// striping, where the hold buffer is almost never empty.
+func (fs *flowState) rearmHold() {
+	if len(fs.held) == 0 {
+		if fs.holdTimer != nil {
+			fs.holdTimer.Cancel()
+			fs.holdTimer = nil
+		}
+		return
+	}
+	if fs.holdTimer == nil || fs.holdSeq != fs.cumSeq {
+		if fs.holdTimer != nil {
+			fs.holdTimer.Cancel()
+		}
+		fs.holdSeq = fs.cumSeq
+		fs.holdTimer = fs.impl.eng.After(fs.impl.HoldTimeout, fs.onHoldTimeout)
 	}
 }
 
@@ -441,10 +531,7 @@ func (fs *flowState) onHoldTimeout() {
 	fs.stats.HoldFlushes++
 	fs.stats.Gaps += int64(oldest - fs.cumSeq - 1)
 	fs.cumSeq = oldest - 1
-	fs.drainHeld()
-	if len(fs.held) > 0 && fs.holdTimer == nil {
-		fs.holdTimer = fs.impl.eng.After(fs.impl.HoldTimeout, fs.onHoldTimeout)
-	}
+	fs.drainHeld() // re-arms the hold timer if holes remain
 }
 
 // flushHeld gives up on outstanding holes: everything held is delivered in
@@ -510,8 +597,24 @@ func (fs *flowState) ackMaybe(i *core.NetIface) {
 // direction (§2.4.1's turn-around is exactly this).
 func (fs *flowState) sendAck(i *core.NetIface) {
 	win := fs.maxSeq
+	if len(fs.arrivals) > 1 {
+		// Multipath: maxSeq runs ahead of the cumulative watermark by the
+		// whole cross-path reorder span, so maxSeq-relative credit would let
+		// the sender bury the slowest subpath arbitrarily deep (the hold
+		// buffer absorbs the spread, the queues stay empty, and the window
+		// never closes). Credit a striping flow from what was actually
+		// delivered instead. Single-path keeps the historical rule, where
+		// maxSeq only outruns cumSeq across genuine losses.
+		win = fs.cumSeq
+	}
 	if fs.inQ != nil {
-		win += uint32(fs.inQ.Free())
+		free := fs.inQ.Free()
+		for _, a := range fs.arrivals {
+			if a.inQ != nil && a.inQ.Free() < free {
+				free = a.inQ.Free()
+			}
+		}
+		win += uint32(free)
 	}
 	// Backpressure cap (§4.4 degradation): a degraded receiver narrows the
 	// advertised window so the source slows instead of filling queues with
@@ -709,5 +812,24 @@ func SetWindowCap(p *core.Path, routerName string, winCap uint32) bool {
 		return false
 	}
 	fs.winCap = winCap
+	return true
+}
+
+// SetObserver installs (or, with nil, removes) the flow's arrival observer:
+// fn sees every data packet with the subpath index it arrived on, the
+// sender→receiver one-way latency measured on the shared virtual clock, and
+// the arrival path's device-end queue depth. Installed on any path of the
+// flow, it observes arrivals on all of them — joined subpaths share the
+// flow state. This is the quality feed mpath.PathSet's EWMAs are built on.
+func SetObserver(p *core.Path, routerName string, fn func(sub int, oneWay time.Duration, qdepth int)) bool {
+	s := p.StageOf(routerName)
+	if s == nil {
+		return false
+	}
+	fs, ok := s.Data.(*flowState)
+	if !ok {
+		return false
+	}
+	fs.observer = fn
 	return true
 }

@@ -245,6 +245,78 @@ func (sd *displayStage) run(t *sched.Thread) (time.Duration, func()) {
 	}
 }
 
+// ServeJoined runs the worker thread for a multipath sibling path joined to
+// prim's flow. Packets injected on sib climb sib's lower stages into the
+// shared MFLOW state and, once in sequence, continue up prim's decoder
+// chain — so decoded frames land in prim's DISPLAY stage. The sibling's
+// thread therefore mirrors prim's worker exactly: it backs off while the
+// shared output queue is full, and it flushes prim's pending frames after
+// each injection. Returns nil if prim has no DISPLAY stage.
+func (d *DisplayImpl) ServeJoined(prim, sib *core.Path, name string) *sched.Thread {
+	s := prim.StageOf("DISPLAY")
+	if s == nil {
+		return nil
+	}
+	sd, ok := s.Data.(*displayStage)
+	if !ok {
+		return nil
+	}
+	t := d.cpu.NewThread(name, sched.PolicyRR, func(t *sched.Thread) (time.Duration, func()) {
+		if sib.Dead() || prim.Dead() {
+			return 0, nil
+		}
+		outQ := prim.Q[core.QOutBWD]
+		inQ := sib.Q[core.QInBWD]
+		if outQ.Full() {
+			return 0, nil // the sink's OnDrain will wake us
+		}
+		item := inQ.Dequeue()
+		if item == nil {
+			return 0, nil
+		}
+		m := item.(*msg.Msg)
+		sd.Injected++
+		if err := sib.Inject(core.BWD, m); err != nil {
+			// Stages free the message on their error paths; nothing to do.
+			_ = err
+		}
+		// Lower-stage cost accrued on sib, decode/dither above MFLOW on prim.
+		cost := sib.TakeExecCost() + prim.TakeExecCost()
+		sd.cpuAcc += cost
+		return cost, func() {
+			for _, f := range sd.pending {
+				if d.OnFrameDone != nil {
+					d.OnFrameDone(prim, f, sd.cpuAcc)
+				}
+				sd.cpuAcc = 0
+				if !outQ.Enqueue(f) {
+					sd.Overflow++
+				}
+			}
+			sd.pending = sd.pending[:0]
+			if !inQ.Empty() && !outQ.Full() {
+				t.Wake()
+			}
+		}
+	})
+	// The sibling rides the flow's scheduling contract: prim's wakeup closure
+	// computes EDF deadlines from the shared bottleneck queues, so it applies
+	// unchanged to every subpath's thread.
+	sib.Wakeup = prim.Wakeup
+	t.AttachPath(sib)
+	sib.Q[core.QInBWD].NotEmpty = t.Wake
+	if sd.sink != nil {
+		prev := sd.sink.OnDrain
+		sd.sink.OnDrain = func() {
+			if prev != nil {
+				prev()
+			}
+			t.Wake()
+		}
+	}
+	return t
+}
+
 // Sink returns the display sink of path p's DISPLAY stage (nil if absent).
 func (d *DisplayImpl) Sink(p *core.Path, routerName string) *display.Sink {
 	s := p.StageOf(routerName)

@@ -90,6 +90,7 @@ type Engine struct {
 	now     Time
 	events  eventHeap
 	seq     uint64
+	seed    int64
 	rng     *rand.Rand
 	stopped bool
 }
@@ -97,7 +98,7 @@ type Engine struct {
 // New returns an engine with its clock at 0 and a deterministic random
 // source derived from seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now reports the current virtual time.
@@ -105,6 +106,21 @@ func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Seed reports the seed the engine was created with, so subsystems can
+// derive decorrelated per-object random streams from it.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// DeriveRand returns an independent deterministic random source for stream
+// id, derived from the engine seed. Distinct ids give uncorrelated streams,
+// and no id reproduces the engine's own source (the fixed-point scramble
+// keeps id 0 from collapsing to the raw seed). Draws from a derived stream
+// do not perturb the engine's main source, so two objects with their own
+// streams stay independent no matter how their draws interleave.
+func (e *Engine) DeriveRand(id int64) *rand.Rand {
+	const scramble = -0x61c8864680b583eb // 2^64 / golden ratio, as int64
+	return rand.New(rand.NewSource(e.seed ^ (id+1)*scramble))
+}
 
 // At schedules fn to run at virtual time t. Scheduling in the past (or at
 // the present) runs the event at the current time, after already-pending
