@@ -14,9 +14,9 @@ BENCHCOUNT ?= 5
 BENCHOUT ?= BENCH_pr7.json
 BENCHBASE ?= BENCH_pr5.json
 
-.PHONY: check build vet test race lint lintgraph bench benchdiff benchsmoke tracegate chaosgate mpgate
+.PHONY: check build vet test race lint lintgraph bench benchdiff benchsmoke tracegate chaosgate mpgate miggate
 
-check: build vet test race lint mpgate
+check: build vet test race lint mpgate miggate
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,19 @@ mpgate:
 	$(GO) run ./cmd/mpegbench -run e13 -e13-smoke | grep -v wall-clock > $$dir/b.txt && \
 	cmp $$dir/a.txt $$dir/b.txt && \
 	echo "mpgate: E13 multipath report byte-identical across same-seed runs"; \
+	rc=$$?; rm -rf $$dir; exit $$rc
+
+# miggate is the live-migration gate: two same-seed E14 smoke runs (link
+# killed mid-clip, path respliced onto the spare NIC) must print
+# byte-identical reports, and the run itself must pass E14's internal gate
+# (one migration within budget, zero incomplete frames, clean audits —
+# mpegbench exits non-zero otherwise).
+miggate:
+	@dir=$$(mktemp -d) && \
+	$(GO) run ./cmd/mpegbench -run e14 -e14-smoke | grep -v wall-clock > $$dir/a.txt && \
+	$(GO) run ./cmd/mpegbench -run e14 -e14-smoke | grep -v wall-clock > $$dir/b.txt && \
+	cmp $$dir/a.txt $$dir/b.txt && \
+	echo "miggate: E14 migration report byte-identical across same-seed runs"; \
 	rc=$$?; rm -rf $$dir; exit $$rc
 
 # chaosgate is the overload-survival gate: the seeded chaos suite (fault

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mpegbench                  # run everything
-//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload|e12|e13
+//	mpegbench -run table1      # one experiment: micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload|e12|e13|e14
 //	mpegbench -edf-full        # EDF experiment at full clip lengths
 //	mpegbench -run e10 -trace trace.json -metrics metrics.json
 //	                           # per-stage breakdown + Perfetto trace dump
@@ -17,6 +17,8 @@
 //	                           # fast-path differential at CI size
 //	mpegbench -run e13 -e13-smoke
 //	                           # multipath policy grid at CI size
+//	mpegbench -run e14 -e14-smoke
+//	                           # live path migration gate at CI size
 package main
 
 import (
@@ -32,12 +34,13 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload|e12|e13")
+	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload|e12|e13|e14")
 	edfFull := flag.Bool("edf-full", false, "run the EDF experiment at full clip lengths (1345/1758 frames)")
 	e10Smoke := flag.Bool("e10-smoke", false, "run E10 at CI size (short clip, loads {0,2})")
 	overloadSmoke := flag.Bool("overload-smoke", false, "run E11 at CI size (short clip, overcommit {1.5})")
 	e12Smoke := flag.Bool("e12-smoke", false, "run E12 at CI size (short clip)")
 	e13Smoke := flag.Bool("e13-smoke", false, "run E13 at CI size (short clip)")
+	e14Smoke := flag.Bool("e14-smoke", false, "run E14 at CI size (short clip)")
 	traceOut := flag.String("trace", "", "write E10's highest-load run as Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics", "", "write E10's highest-load metrics JSON (pathtop input) to this file")
 	flag.Parse()
@@ -155,6 +158,18 @@ func main() {
 			cfg = exp.SmokeE13Config()
 		}
 		exp.PrintE13(w, exp.RunE13(cfg))
+	})
+
+	run("e14", func() {
+		cfg := exp.E14Config{}
+		if *e14Smoke {
+			cfg = exp.SmokeE14Config()
+		}
+		res := exp.RunE14(cfg)
+		exp.PrintE14(w, res)
+		if !res.Ok() {
+			os.Exit(1)
+		}
 	})
 
 	run("ilp", func() {

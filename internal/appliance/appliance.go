@@ -26,6 +26,7 @@ import (
 	"scout/internal/routers"
 	"scout/internal/sched"
 	"scout/internal/sim"
+	"scout/internal/splice"
 )
 
 // Config parameterizes a kernel boot.
@@ -382,6 +383,24 @@ func (k *Kernel) CreateVideoPathSet(va *VideoAttrs, subpaths int, policyName str
 		ps.NoteArrival(sub, oneWay, qdepth)
 	})
 	return ps, lport, nil
+}
+
+// NewMigrator returns a splice.Manager that migrates this kernel's video
+// paths at the MFLOW boundary — everything below (UDP, IP, ETH) is
+// device-specific and rebuilt, everything above owns the flow state and
+// survives — with the kernel's cross-subsystem hooks wired in: trace spans
+// re-instrument onto the rebuilt stages, and MFLOW readvertises its window
+// down the fresh chain before the path resumes. Arm plans on it with
+// Manager.Arm; Kernel.Devs supplies the From/To devices in link order.
+func (k *Kernel) NewMigrator() *splice.Manager {
+	m := splice.New(k.Eng, "MFLOW")
+	m.OnResplice = func(p *core.Path, from int) {
+		k.Tracer.ReinstrumentTail(p, from)
+	}
+	m.Readvertise = func(p *core.Path) {
+		k.MFLOW.Readvertise(p, "MFLOW")
+	}
+	return m
 }
 
 // Degrader returns the degradation controller attached to p via the

@@ -93,6 +93,9 @@ type Path struct {
 	dead   bool
 	fused  bool
 
+	paused   bool
+	pausedAt string // boundary router name, for reporting
+
 	applied map[string]bool // transformation rules already applied
 
 	// Resource accounting (§4.4). Memory is charged during creation and
@@ -141,8 +144,12 @@ const (
 	// OverloadRevocation: the admission controller revoked (part of) the
 	// path's grant because the online fit says the system is overcommitted.
 	OverloadRevocation
+	// OverloadLinkDown: the device under the path's lower stages lost its
+	// link (netdev's failure detector fired); the migration subsystem
+	// reacts by resplicing the path onto a healthy device.
+	OverloadLinkDown
 
-	overloadKinds = 3
+	overloadKinds = 4
 )
 
 func (k OverloadKind) String() string {
@@ -151,8 +158,10 @@ func (k OverloadKind) String() string {
 		return "deadline-miss"
 	case OverloadStarvation:
 		return "starvation"
-	default:
+	case OverloadRevocation:
 		return "revocation"
+	default:
+		return "link-down"
 	}
 }
 
@@ -390,6 +399,157 @@ func (p *Path) fuse() {
 // Fused reports whether the fusion phase ran on this path.
 func (p *Path) Fused() bool { return p.fused }
 
+// PauseAt quiesces the path at the boundary of the named router's stage: the
+// serving threads (scheduler workers, the display pacer) check Paused before
+// dequeuing, so every queued message — and the fbuf reference it carries —
+// stays exactly where it is. Arriving frames keep enqueuing normally; only
+// delivery stops. The chaos conservation audits hold across the pause
+// because nothing is shed or freed. Pausing a dead path fails; pausing an
+// already-paused path just moves the recorded boundary.
+func (p *Path) PauseAt(router string) error {
+	if p.dead {
+		return ErrPathDead
+	}
+	if p.StageOf(router) == nil {
+		return fmt.Errorf("core: pause: no stage %q in %s", router, p)
+	}
+	p.paused = true
+	p.pausedAt = router
+	return nil
+}
+
+// Paused reports whether the path is quiesced.
+func (p *Path) Paused() bool { return p.paused }
+
+// PausedAt reports the boundary router recorded by PauseAt ("" when not
+// paused).
+func (p *Path) PausedAt() string { return p.pausedAt }
+
+// Resume lifts a pause and refires the input queues' NotEmpty hooks so the
+// serving threads pick the retained work back up. Resuming a dead or
+// unpaused path is a no-op.
+func (p *Path) Resume() {
+	if p.dead || !p.paused {
+		return
+	}
+	p.paused = false
+	p.pausedAt = ""
+	for _, qi := range [...]int{QInFWD, QInBWD} {
+		q := p.Q[qi]
+		if q != nil && !q.Empty() && q.NotEmpty != nil {
+			q.NotEmpty()
+		}
+	}
+}
+
+// Resplice rebuilds the path below the named boundary router against the
+// routing decisions the attribute set a admits now — the live-migration
+// primitive (ROADMAP item 5): the retained upper stages, the path object,
+// its queues and their contents all survive; only the lower stages (for the
+// video path: UDP→IP→ETH) are torn down and re-created, typically against a
+// different device selected through PA_MPATH_LINK.
+//
+// The caller is expected to hold the path paused at the boundary (PauseAt),
+// and owns the control-plane fan-out that core cannot do: invalidating the
+// old and new devices' flow caches, re-wiring trace spans, and nudging the
+// transport (see internal/splice). a nil a resplices against p.Attrs.
+//
+// Ordering matters: the retired stages are destroyed *first*, in reverse
+// creation order, so their external registrations (UDP's demux binding)
+// are released before the fresh stages re-claim them. The phase-2 wiring
+// pass then re-runs over the whole path — it is idempotent for retained
+// stages — and, if the path was fused, fusion re-runs so the retained
+// boundary stage's cached fast pointers aim at the new chain.
+//
+// On error the path is left with its upper stages intact but the lower
+// chain incomplete; the only safe continuation is Destroy.
+func (p *Path) Resplice(boundary string, a *attr.Attrs) error {
+	if p.dead {
+		return ErrPathDead
+	}
+	idx := -1
+	for i, s := range p.stages {
+		if s.Router != nil && s.Router.Name == boundary {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("core: resplice: no stage %q in %s", boundary, p)
+	}
+	if idx == len(p.stages)-1 {
+		return fmt.Errorf("core: resplice: %q is the final stage, nothing below it", boundary)
+	}
+	if a == nil {
+		a = p.Attrs
+	}
+	old := p.stages[idx+1:]
+	destroyStages(old)
+
+	// Re-walk the routing decisions from the first retired router, exactly
+	// like CreatePath phase 1.
+	const maxStages = 64
+	var fresh []*Stage
+	hop := &NextHop{Router: old[0].Router, Service: old[0].EnterService}
+	for {
+		st, next, err := hop.Router.Impl.CreateStage(hop.Router, hop.Service, a)
+		if err != nil {
+			destroyStages(fresh)
+			return fmt.Errorf("core: resplice %s: %w", hop.Router.Name, err)
+		}
+		if st == nil {
+			destroyStages(fresh)
+			return fmt.Errorf("core: resplice %s returned no stage", hop.Router.Name)
+		}
+		st.Router = hop.Router
+		st.EnterService = hop.Service
+		fresh = append(fresh, st)
+		if next == nil {
+			break
+		}
+		if idx+1+len(fresh) >= maxStages {
+			destroyStages(fresh)
+			return fmt.Errorf("core: resplice exceeds %d stages (cycle in routing decisions?)", maxStages)
+		}
+		hop = next
+	}
+
+	p.stages = append(p.stages[:idx+1], fresh...)
+	p.End[1] = p.stages[len(p.stages)-1]
+	for i, st := range p.stages {
+		st.Path = p
+		if fwd := st.End[FWD]; fwd != nil {
+			if i+1 < len(p.stages) {
+				fwd.Base().Next = p.stages[i+1].End[FWD]
+			}
+			if i > 0 {
+				fwd.Base().Back = p.stages[i-1].End[BWD]
+			}
+		}
+		if bwd := st.End[BWD]; bwd != nil {
+			if i > 0 {
+				bwd.Base().Next = p.stages[i-1].End[BWD]
+			}
+			if i+1 < len(p.stages) {
+				bwd.Base().Back = p.stages[i+1].End[FWD]
+			}
+		}
+	}
+
+	for _, st := range fresh {
+		if st.Establish == nil {
+			continue
+		}
+		if err := st.Establish(st, a); err != nil {
+			return fmt.Errorf("core: resplice establish %s: %w", st.Router.Name, err)
+		}
+	}
+	if p.fused {
+		p.fuse()
+	}
+	return nil
+}
+
 func destroyStages(stages []*Stage) {
 	for i := len(stages) - 1; i >= 0; i-- {
 		if stages[i].Destroy != nil {
@@ -431,6 +591,11 @@ func (p *Path) Destroy() {
 		return
 	}
 	p.dead = true
+	// A destroy racing a migration wins: lift the pause (so Paused readers
+	// see a dead, unpaused path) and fall through to the drain below, which
+	// releases the fbuf references the pause retained in the queues.
+	p.paused = false
+	p.pausedAt = ""
 	destroyStages(p.stages)
 	for _, q := range p.Q {
 		if q == nil {

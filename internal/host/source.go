@@ -320,6 +320,25 @@ func (s *Source) resend(u *srcUnacked) {
 	u.lastSub = s.sendPacket(u.seq, u.idx, true)
 }
 
+// RedispatchUnacked re-sends every unacknowledged packet immediately, in
+// sequence order — the sender half of a path failover. When the dispatch
+// policy retires a subflow (its wire died), everything the dead wire may
+// have swallowed is re-driven through the policy at once, instead of
+// trickling out one RTO at a time; recovering N packets serially at RTOMin
+// each would lose the race against the receiver's hold timeout. Duplicates
+// of packets that did arrive are discarded by the receiver's seq filter.
+func (s *Source) RedispatchUnacked() {
+	if !s.cfg.Retransmit {
+		return
+	}
+	for i := range s.unacked {
+		s.resend(&s.unacked[i])
+	}
+	// Fresh transmissions on (presumably) a fresh path: restart the backoff.
+	s.rtoShift = 0
+	s.rearmRTO()
+}
+
 // rto returns the current retransmission timeout: twice the smoothed RTT,
 // clamped to [RTOMin, RTOMax], doubled per back-to-back timeout.
 func (s *Source) rto() time.Duration {

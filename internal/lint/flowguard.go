@@ -14,7 +14,7 @@ import (
 // both are flagged statically:
 //
 //   - mutation calls from packages outside the control plane (core, netdev,
-//     proto/*, appliance, mpath): experiments, hosts and tools must drive the
+//     proto/*, appliance, mpath, splice): experiments, hosts and tools must drive the
 //     cache through protocol operations, never poke it directly;
 //   - mutation calls inside a `go` statement anywhere: a spawned goroutine
 //     escapes the event loop and races every unlocked cache access.
@@ -48,6 +48,10 @@ var flowControlPlane = []string{
 	// fans into its device's flow cache as an InvalidatePath, all from
 	// sender-dispatch context inside the event loop.
 	"/internal/mpath",
+	// splice is pure control plane: migrations run on link-death events,
+	// never per packet, and must invalidate both the retired and the
+	// adopting device's caches during the pause window.
+	"/internal/splice",
 }
 
 func runFlowGuard(pass *Pass) {
@@ -92,7 +96,7 @@ func runFlowGuard(pass *Pass) {
 			case inGo(call):
 				pass.Reportf(call.Pos(), "%s.%s inside a spawned goroutine races the engine's single-threaded event loop; mutate the flow cache from sim-event context only", recv, method)
 			case !allowed:
-				pass.Reportf(call.Pos(), "%s.%s outside the control plane (core, netdev, proto/*, appliance, mpath); drive cache state through protocol operations instead", recv, method)
+				pass.Reportf(call.Pos(), "%s.%s outside the control plane (core, netdev, proto/*, appliance, mpath, splice); drive cache state through protocol operations instead", recv, method)
 			}
 			return true
 		})

@@ -56,9 +56,17 @@ type Subpath struct {
 	latSeen  bool
 	lossEWMA float64
 	qdepth   int
+	dead     bool
 
 	sent, acked, lost int64
 }
+
+// Dead reports whether the subpath was terminally retired (MarkDead): its
+// link is administratively down, so no policy may pick it again. The state
+// is terminal by design — once traffic leaves a dead subpath nothing decays
+// its loss EWMA, so without it the estimate would look pristine forever and
+// a loss-ranked policy would happily re-pin onto a black hole.
+func (s *Subpath) Dead() bool { return s.dead }
 
 // LatEWMA reports the smoothed one-way latency (0 until the first sample).
 func (s *Subpath) LatEWMA() time.Duration { return s.latEWMA }
@@ -79,6 +87,7 @@ type SubStats struct {
 	LatEWMA  time.Duration
 	LossEWMA float64
 	QDepth   int
+	Dead     bool
 }
 
 // Policy decides which subpath carries each outbound packet. Pick runs at
@@ -146,6 +155,17 @@ func (ps *PathSet) Dispatch(seq uint32, retx bool) int {
 	if pick < 0 || pick >= len(ps.subs) {
 		pick = 0
 	}
+	if ps.subs[pick].dead {
+		// Backstop below the policies: whatever a policy returns, a packet
+		// is never dispatched onto a dead subpath while a live one exists.
+		// Deterministic: lowest live ID wins.
+		for i, s := range ps.subs {
+			if !s.dead {
+				pick = i
+				break
+			}
+		}
+	}
 	if ps.picked && pick != ps.lastPick {
 		ps.switches++
 		if ps.policy.Repin() {
@@ -174,6 +194,46 @@ func (ps *PathSet) SeedPick(sub int) {
 	if !ps.picked && sub >= 0 && sub < len(ps.subs) {
 		ps.lastPick = sub
 	}
+}
+
+// MarkDead terminally retires subpath sub — the migration layer calls it
+// when the link under the subpath is administratively down. The retired
+// subpath's device flow-cache entries are invalidated (generation bump
+// included), the same fan-out a re-pin performs, so the interrupt-time fast
+// path cannot keep a binding the control plane knows is dead. Idempotent.
+func (ps *PathSet) MarkDead(sub int) {
+	if sub < 0 || sub >= len(ps.subs) {
+		return
+	}
+	s := ps.subs[sub]
+	if s.dead {
+		return
+	}
+	s.dead = true
+	if s.Dev != nil && s.Dev.Flows != nil && s.Path != nil {
+		s.Dev.Flows.InvalidatePath(s.Path)
+	}
+}
+
+// MarkDeadDev marks every subpath riding dev dead (MarkDead semantics) —
+// the natural fan-out for a per-device link-down signal.
+func (ps *PathSet) MarkDeadDev(dev *netdev.Device) {
+	for i, s := range ps.subs {
+		if s.Dev == dev {
+			ps.MarkDead(i)
+		}
+	}
+}
+
+// Alive reports how many subpaths are not dead.
+func (ps *PathSet) Alive() int {
+	n := 0
+	for _, s := range ps.subs {
+		if !s.dead {
+			n++
+		}
+	}
+	return n
 }
 
 // NoteArrival feeds one receiver-side observation (from mflow.SetObserver):
@@ -232,6 +292,7 @@ func (ps *PathSet) Snapshot() []SubStats {
 			ID: s.ID, Label: s.Label,
 			Sent: s.sent, Acked: s.acked, Lost: s.lost,
 			LatEWMA: s.latEWMA, LossEWMA: s.lossEWMA, QDepth: s.qdepth,
+			Dead: s.dead,
 		}
 	}
 	return out

@@ -135,6 +135,91 @@ func TestRepinBumpsFlowCacheGen(t *testing.T) {
 	}
 }
 
+// The regression the Dead state exists for: once traffic leaves a downed
+// subpath, nothing decays its loss EWMA, so after the surviving subpath
+// takes any loss at all the dead subpath's frozen estimate looks strictly
+// better and a loss-ranked policy would re-pin the flow onto a black hole.
+// MarkDead is terminal: the dead subpath must never be picked again, no
+// matter how attractive its stale numbers are.
+func TestLossAwareNeverRepinsOntoDeadSubpath(t *testing.T) {
+	ps := newSet(t, LossAwareEWMA(), 2)
+	// Healthy traffic on the incumbent, then its link dies: a burst of loss
+	// signals diverges the estimates and the flow moves to subpath 1.
+	for seq := uint32(1); seq <= 10; seq++ {
+		ps.Dispatch(seq, false)
+		ps.NoteArrival(0, 100*time.Microsecond, 0)
+	}
+	for i := 0; i < 12; i++ {
+		ps.NoteLoss(0)
+	}
+	if got := ps.Dispatch(11, false); got != 1 {
+		t.Fatalf("after sustained loss: pick %d, want 1", got)
+	}
+	ps.MarkDead(0)
+	// The survivor now takes heavy loss — far worse than subpath 0's frozen
+	// estimate. Without the Dead state this is exactly where the flow would
+	// re-pin onto the downed link.
+	for i := 0; i < 40; i++ {
+		ps.NoteLoss(1)
+	}
+	if ps.Sub(1).LossEWMA() <= ps.Sub(0).LossEWMA() {
+		t.Fatalf("test degenerate: survivor (%.3f) not lossier than dead subpath's frozen estimate (%.3f)",
+			ps.Sub(1).LossEWMA(), ps.Sub(0).LossEWMA())
+	}
+	for seq := uint32(12); seq <= 100; seq++ {
+		if got := ps.Dispatch(seq, false); got != 0 {
+			continue
+		}
+		t.Fatalf("seq %d: flow re-pinned onto the dead subpath", seq)
+	}
+}
+
+// MarkDead fans an InvalidatePath into the dead subpath's device flow cache
+// (generation bump), is idempotent, and is visible in snapshots and the
+// Alive count. The striping policy must forward a dead slot's share to the
+// next live subpath rather than black-holing every k-th packet.
+func TestMarkDeadInvalidatesAndStripeSkips(t *testing.T) {
+	eng := sim.New(1)
+	l0 := netdev.NewLink(eng, netdev.LinkConfig{ID: 0})
+	d0 := netdev.NewDevice(l0, netdev.MAC{2, 0, 0, 0, 0, 1}, nil)
+	d0.Flows = core.NewFlowCache(16)
+
+	ps := New("flow", RoundRobinStripe())
+	ps.Add(&core.Path{}, d0, "sub0")
+	ps.Add(&core.Path{}, nil, "sub1")
+	ps.Add(&core.Path{}, nil, "sub2")
+
+	gen0 := d0.Flows.Gen()
+	ps.MarkDeadDev(d0)
+	if d0.Flows.Gen() == gen0 {
+		t.Fatal("MarkDeadDev did not advance the device flow-cache generation")
+	}
+	gen1 := d0.Flows.Gen()
+	ps.MarkDead(0) // idempotent: no second invalidation
+	if d0.Flows.Gen() != gen1 {
+		t.Fatal("repeated MarkDead invalidated again")
+	}
+	if ps.Alive() != 2 {
+		t.Fatalf("Alive() = %d, want 2", ps.Alive())
+	}
+	snap := ps.Snapshot()
+	if !snap[0].Dead || snap[1].Dead || snap[2].Dead {
+		t.Fatalf("snapshot dead flags wrong: %+v", snap)
+	}
+	// Dead slot 0's share forwards to the next live subpath; slots 1 and 2
+	// keep their turns.
+	for seq := uint32(1); seq <= 30; seq++ {
+		got := ps.Dispatch(seq, false)
+		want := int(seq % 3)
+		if want == 0 {
+			want = 1
+		}
+		if got != want {
+			t.Fatalf("seq %d: pick %d, want %d", seq, got, want)
+		}
+	}
+}
+
 // Policies are pure functions of observed state: the same script of
 // observations and dispatches yields the same pick sequence.
 func TestDispatchDeterministic(t *testing.T) {

@@ -57,10 +57,19 @@ func RoundRobinStripe() Policy { return rrStripe{} }
 func (rrStripe) Name() string { return "round-robin-stripe" }
 func (rrStripe) Repin() bool  { return false }
 func (rrStripe) Pick(ps *PathSet, seq uint32, retx bool) int {
-	if k := ps.K(); k > 0 {
-		return int(seq % uint32(k))
+	k := ps.K()
+	if k == 0 {
+		return 0
 	}
-	return 0
+	pick := int(seq % uint32(k))
+	// Stripe over the live subpaths only: a dead slot forwards its share to
+	// the next live one, deterministically by scan order.
+	for j := 0; j < k; j++ {
+		if i := (pick + j) % k; !ps.Sub(i).Dead() {
+			return i
+		}
+	}
+	return pick
 }
 
 // latencyGreedy always takes the subpath with the lowest latency EWMA.
@@ -77,12 +86,19 @@ func LatencyGreedy() Policy { return latencyGreedy{} }
 func (latencyGreedy) Name() string { return "latency-greedy" }
 func (latencyGreedy) Repin() bool  { return true }
 func (latencyGreedy) Pick(ps *PathSet, seq uint32, retx bool) int {
-	best, bestLat := 0, time.Duration(-1)
+	best, bestLat := -1, time.Duration(-1)
 	for i := 0; i < ps.K(); i++ {
-		lat := ps.Sub(i).LatEWMA()
-		if bestLat < 0 || lat < bestLat {
+		s := ps.Sub(i)
+		if s.Dead() {
+			continue
+		}
+		lat := s.LatEWMA()
+		if best < 0 || lat < bestLat {
 			best, bestLat = i, lat
 		}
+	}
+	if best < 0 {
+		return 0 // every subpath dead: nothing good to return
 	}
 	return best
 }
@@ -110,14 +126,27 @@ func (p lossAwareEWMA) Pick(ps *PathSet, seq uint32, retx bool) int {
 	if cur >= ps.K() {
 		cur = 0
 	}
+	// A dead incumbent is disqualified outright, hysteresis or not: once
+	// traffic leaves a downed subpath nothing charges its loss EWMA, so the
+	// estimate would otherwise decay back under the margin and the flow
+	// would re-pin onto a black hole (the bug the Dead state exists to fix).
+	curAlive := !ps.Sub(cur).Dead()
 	curLoss := ps.Sub(cur).LossEWMA()
 	best, bestLoss, bestLat := cur, curLoss, ps.Sub(cur).LatEWMA()
+	if !curAlive {
+		best = -1
+	}
 	for i := 0; i < ps.K(); i++ {
-		if i == cur {
+		s := ps.Sub(i)
+		if i == cur || s.Dead() {
 			continue
 		}
-		s := ps.Sub(i)
 		loss, lat := s.LossEWMA(), s.LatEWMA()
+		if best < 0 {
+			// No live incumbent: the first live challenger leads.
+			best, bestLoss, bestLat = i, loss, lat
+			continue
+		}
 		if best == cur {
 			// The incumbent only yields to a challenger that beats it by
 			// the full margin: quality has to diverge, not merely jitter.
@@ -131,6 +160,9 @@ func (p lossAwareEWMA) Pick(ps *PathSet, seq uint32, retx bool) int {
 		if loss < bestLoss || (loss == bestLoss && lat < bestLat) {
 			best, bestLoss, bestLat = i, loss, lat
 		}
+	}
+	if best < 0 {
+		return cur // every subpath dead
 	}
 	return best
 }

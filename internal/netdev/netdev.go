@@ -67,6 +67,9 @@ type Link struct {
 	sent        int64
 	dropped     int64
 	delivered   int64
+
+	down      bool
+	downDrops int64
 }
 
 // NewLink creates a link on eng with the given configuration.
@@ -85,6 +88,28 @@ func (l *Link) Stats() (sent, dropped, delivered int64) {
 	return l.sent, l.dropped, l.delivered
 }
 
+// SetDown administratively kills the link: every frame offered from now on
+// is dropped at the transmitting NIC (no carrier, no airtime) and counted in
+// DownDrops. Frames already serialized onto the wire still arrive — death
+// cuts the carrier, it does not reach into flight.
+func (l *Link) SetDown() { l.down = true }
+
+// SetUp restores the carrier and resets every attached device's tx-loss
+// streak so the detector starts fresh.
+func (l *Link) SetUp() {
+	l.down = false
+	for _, d := range l.order {
+		d.txLossStreak = 0
+	}
+}
+
+// IsDown reports whether the link is administratively down.
+func (l *Link) IsDown() bool { return l.down }
+
+// DownDrops reports how many frames were dropped because the link was
+// administratively down.
+func (l *Link) DownDrops() int64 { return l.downDrops }
+
 // serialization returns the time the medium is occupied by a frame of n
 // bytes.
 func (l *Link) serialization(n int) time.Duration {
@@ -96,6 +121,19 @@ func (l *Link) serialization(n int) time.Duration {
 // free.
 func (l *Link) transmit(src *Device, dst MAC, m *msg.Msg) {
 	l.sent++
+	if l.down {
+		// No carrier: the frame dies at the NIC. The transmitting device's
+		// failure detector counts the consecutive misses.
+		l.downDrops++
+		m.Free()
+		if src != nil {
+			src.noteTxLoss()
+		}
+		return
+	}
+	if src != nil {
+		src.txLossStreak = 0
+	}
 	// The frame occupies the medium regardless of its fate: serialization
 	// happens at the transmitting NIC, loss happens on the wire, so a lossy
 	// link still carries the load of every frame it drops.
@@ -227,6 +265,24 @@ type Device struct {
 	// interrupt time) and because pathtrace samples it from here.
 	Flows *core.FlowCache
 
+	// OnLinkDown, when non-nil, is the failure detector's verdict callback:
+	// it fires at most once (until ClearLinkDown) when either detector mode
+	// concludes the device's link is dead — TxLossThreshold consecutive
+	// carrier losses on transmit, or ArmSilence's receive-silence window
+	// elapsing on the virtual clock. Both modes are deterministic: they
+	// observe only the virtual clock and the frame stream, never wall time.
+	OnLinkDown func()
+	// TxLossThreshold arms carrier-sense detection: after this many
+	// consecutive transmit-time carrier losses OnLinkDown fires. Zero
+	// disables the mode.
+	TxLossThreshold int
+
+	txLoss       int64
+	txLossStreak int
+	silence      time.Duration
+	lastRx       sim.Time
+	ldFired      bool
+
 	// CoalesceRx batches frames that arrive at the same virtual instant
 	// into a single scheduler interrupt entry charging the summed IRQ cost
 	// — interrupt mitigation, opt-in per device. The per-frame handler
@@ -272,9 +328,73 @@ func (d *Device) Transmit(dst MAC, m *msg.Msg) {
 	d.link.transmit(d, dst, m)
 }
 
+// noteTxLoss records one transmit-time carrier loss and fires the detector
+// when the consecutive-loss streak reaches the threshold.
+func (d *Device) noteTxLoss() {
+	d.txLoss++
+	d.txLossStreak++
+	if d.TxLossThreshold > 0 && d.txLossStreak >= d.TxLossThreshold {
+		d.fireLinkDown()
+	}
+}
+
+// TxLosses reports how many transmissions died for lack of carrier.
+func (d *Device) TxLosses() int64 { return d.txLoss }
+
+func (d *Device) fireLinkDown() {
+	if d.ldFired {
+		return
+	}
+	d.ldFired = true
+	if d.OnLinkDown != nil {
+		d.OnLinkDown()
+	}
+}
+
+// ArmSilence arms the receive-silence detector: if no frame arrives for
+// timeout of virtual time, OnLinkDown fires. Every arrival pushes the window
+// forward. The timer chain re-arms itself lazily (no cancellation), so the
+// event pattern — and therefore the run — is deterministic for a given
+// arrival sequence.
+func (d *Device) ArmSilence(timeout time.Duration) {
+	if timeout <= 0 {
+		return
+	}
+	d.silence = timeout
+	d.lastRx = d.eng.Now()
+	d.eng.At(d.eng.Now().Add(timeout), d.checkSilence)
+}
+
+// DisarmSilence stops the receive-silence detector; an in-flight check
+// becomes a no-op.
+func (d *Device) DisarmSilence() { d.silence = 0 }
+
+func (d *Device) checkSilence() {
+	if d.silence <= 0 || d.ldFired {
+		return
+	}
+	deadline := d.lastRx.Add(d.silence)
+	if d.eng.Now() >= deadline {
+		d.fireLinkDown()
+		return
+	}
+	d.eng.At(deadline, d.checkSilence)
+}
+
+// ClearLinkDown re-arms the one-shot detector (after SetUp, or after a
+// migration moved the path off this device) and resets the loss streak.
+func (d *Device) ClearLinkDown() {
+	d.ldFired = false
+	d.txLossStreak = 0
+	if d.silence > 0 {
+		d.ArmSilence(d.silence)
+	}
+}
+
 func (d *Device) receive(m *msg.Msg) {
 	d.rx++
 	m.Arrival = int64(d.eng.Now())
+	d.lastRx = d.eng.Now()
 	if d.OnReceive == nil && d.OnReceiveBurst == nil {
 		d.rxDropped++
 		m.Free()
@@ -353,6 +473,9 @@ func (d *Device) BurstStats() (bursts, frames int64) { return d.bursts, d.burstF
 
 // Engine returns the simulation engine the device runs on.
 func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Link returns the link the device is attached to.
+func (d *Device) Link() *Link { return d.link }
 
 // Generator injects copies of a template frame at a fixed rate — the
 // reproduction's stand-in for `ping -f` (§4.3, Table 2).

@@ -278,6 +278,46 @@ func (t *Tracer) InstrumentPath(p *core.Path, label string) {
 	t.order = append(t.order, pi)
 }
 
+// ReinstrumentTail re-attaches the tracer to p's stages from index from
+// onward, after a resplice replaced them with fresh (unwrapped) ones. The
+// StageMetrics rows at those indices are retained — same trace IDs, so
+// exported traces stay stable across a migration — but their names refresh
+// to the new routers and their NetIface Deliver pointers get wrapped anew.
+// Rows beyond the new stage count simply stop accruing. A pid that was
+// never instrumented, or a disabled tracer, is a no-op.
+func (t *Tracer) ReinstrumentTail(p *core.Path, from int) {
+	if t == nil || !t.enabled || p == nil || from < 0 {
+		return
+	}
+	pi := t.paths[p.PID]
+	if pi == nil {
+		return
+	}
+	stages := p.Stages()
+	for i := from; i < len(stages); i++ {
+		s := stages[i]
+		name := "?"
+		if s.Router != nil {
+			name = s.Router.Name
+		}
+		var sm *StageMetrics
+		if i < len(pi.Stages) {
+			sm = pi.Stages[i]
+			sm.Stage = name
+		} else {
+			sm = &StageMetrics{Stage: name, tid: 1 + i}
+			pi.Stages = append(pi.Stages, sm)
+		}
+		for d := 0; d < 2; d++ {
+			ni, ok := s.End[d].(*core.NetIface)
+			if !ok || ni == nil || ni.Deliver == nil {
+				continue
+			}
+			t.wrap(pi, sm, p, ni)
+		}
+	}
+}
+
 // wrap replaces ni.Deliver with a traced version — the same function-pointer
 // substitution mechanism §3.3's path transformation rules use.
 func (t *Tracer) wrap(pi *PathInfo, sm *StageMetrics, p *core.Path, ni *core.NetIface) {

@@ -638,6 +638,33 @@ func (fs *flowState) sendAck(i *core.NetIface) {
 	}
 }
 
+// Readvertise sends one unsolicited window advertisement down p's chain
+// through its stage contributed by the named router. It is the control-plane
+// nudge the migration subsystem (internal/splice) fires right after a
+// resplice: the ack travels the freshly built lower stages, so the sender
+// learns the receiver is reachable on the new device without waiting for
+// data to arrive and trigger a normal turn-around ack. Reports whether an
+// advertisement was sent.
+func (f *Impl) Readvertise(p *core.Path, router string) bool {
+	if p == nil || p.Dead() {
+		return false
+	}
+	s := p.StageOf(router)
+	if s == nil {
+		return false
+	}
+	fs, ok := s.Data.(*flowState)
+	if !ok {
+		return false
+	}
+	i, ok := s.End[core.BWD].(*core.NetIface)
+	if !ok || i == nil {
+		return false
+	}
+	fs.sendAck(i)
+	return true
+}
+
 // senderAck processes a cumulative acknowledgment on the sending side.
 func (fs *flowState) senderAck(h Header) {
 	f := fs.impl

@@ -208,8 +208,8 @@ func (sd *displayStage) inDeadline() sim.Time {
 // queue" (§4.1).
 func (sd *displayStage) run(t *sched.Thread) (time.Duration, func()) {
 	p := sd.path
-	if p.Dead() {
-		return 0, nil
+	if p.Dead() || p.Paused() {
+		return 0, nil // Resume refires the input queue's NotEmpty hook
 	}
 	outQ := p.Q[core.QOutBWD]
 	inQ := p.Q[core.QInBWD]
@@ -262,8 +262,8 @@ func (d *DisplayImpl) ServeJoined(prim, sib *core.Path, name string) *sched.Thre
 		return nil
 	}
 	t := d.cpu.NewThread(name, sched.PolicyRR, func(t *sched.Thread) (time.Duration, func()) {
-		if sib.Dead() || prim.Dead() {
-			return 0, nil
+		if sib.Dead() || prim.Dead() || sib.Paused() || prim.Paused() {
+			return 0, nil // Resume refires the input queue's NotEmpty hook
 		}
 		outQ := prim.Q[core.QOutBWD]
 		inQ := sib.Q[core.QInBWD]

@@ -402,6 +402,11 @@ func ServeIncoming(s *Sched, name, policy string, prio int, p *core.Path, d core
 	q := p.Q[core.QIn(d)]
 	var th *Thread
 	th = s.NewThread(name, policy, func(t *Thread) (time.Duration, func()) {
+		if p.Paused() {
+			// A paused path retains its queued work; Resume refires the
+			// queue's NotEmpty hook to wake this thread back up.
+			return 0, nil
+		}
 		item := q.Dequeue()
 		if item == nil {
 			return 0, nil
