@@ -11,12 +11,12 @@ GO ?= go
 # machines. BENCHBASE is the committed baseline benchdiff compares against.
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 5
-BENCHOUT ?= BENCH_pr7.json
-BENCHBASE ?= BENCH_pr5.json
+BENCHOUT ?= BENCH_pr10.json
+BENCHBASE ?= BENCH_pr7.json
 
-.PHONY: check build vet test race lint lintgraph bench benchdiff benchsmoke tracegate chaosgate mpgate miggate
+.PHONY: check build vet test race lint lintgraph bench benchdiff benchsmoke tracegate chaosgate mpgate miggate scalegate
 
-check: build vet test race lint mpgate miggate
+check: build vet test race lint mpgate miggate scalegate
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,7 @@ lintgraph:
 # output is kept in BENCH_raw.txt and parsed into $(BENCHOUT) by
 # cmd/benchjson. Two steps (not a pipe) so a bench failure fails the target.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/pathtrace > BENCH_raw.txt
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/pathtrace ./internal/sim > BENCH_raw.txt
 	$(GO) run ./cmd/benchjson -in BENCH_raw.txt -out $(BENCHOUT)
 
 # benchdiff gates the perf trajectory: the committed candidate artifact must
@@ -94,6 +94,19 @@ miggate:
 	$(GO) run ./cmd/mpegbench -run e14 -e14-smoke | grep -v wall-clock > $$dir/b.txt && \
 	cmp $$dir/a.txt $$dir/b.txt && \
 	echo "miggate: E14 migration report byte-identical across same-seed runs"; \
+	rc=$$?; rm -rf $$dir; exit $$rc
+
+# scalegate is the sharded-kernel determinism gate, two layers deep: each
+# E15 smoke run internally requires identical digests/totals/event counts
+# across shard counts (mpegbench exits non-zero on divergence), and two
+# same-seed runs must print byte-identical reports (wall-clock rate lines
+# excluded — they legitimately vary).
+scalegate:
+	@dir=$$(mktemp -d) && \
+	$(GO) run ./cmd/mpegbench -run e15 -e15-smoke | grep -v wall-clock > $$dir/a.txt && \
+	$(GO) run ./cmd/mpegbench -run e15 -e15-smoke | grep -v wall-clock > $$dir/b.txt && \
+	cmp $$dir/a.txt $$dir/b.txt && \
+	echo "scalegate: E15 sharded report byte-identical across same-seed runs"; \
 	rc=$$?; rm -rf $$dir; exit $$rc
 
 # chaosgate is the overload-survival gate: the seeded chaos suite (fault

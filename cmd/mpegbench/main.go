@@ -19,6 +19,9 @@
 //	                           # multipath policy grid at CI size
 //	mpegbench -run e14 -e14-smoke
 //	                           # live path migration gate at CI size
+//	mpegbench -run e15 [-e15-smoke]
+//	                           # sharded-kernel scale sweep + shard-count
+//	                           # invisibility gate (smoke = CI size)
 package main
 
 import (
@@ -34,13 +37,14 @@ import (
 )
 
 func main() {
-	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload|e12|e13|e14")
+	which := flag.String("run", "all", "experiment: all|micro|table1|table2|edf|admission|queues|ilp|loss|e10|overload|e12|e13|e14|e15")
 	edfFull := flag.Bool("edf-full", false, "run the EDF experiment at full clip lengths (1345/1758 frames)")
 	e10Smoke := flag.Bool("e10-smoke", false, "run E10 at CI size (short clip, loads {0,2})")
 	overloadSmoke := flag.Bool("overload-smoke", false, "run E11 at CI size (short clip, overcommit {1.5})")
 	e12Smoke := flag.Bool("e12-smoke", false, "run E12 at CI size (short clip)")
 	e13Smoke := flag.Bool("e13-smoke", false, "run E13 at CI size (short clip)")
 	e14Smoke := flag.Bool("e14-smoke", false, "run E14 at CI size (short clip)")
+	e15Smoke := flag.Bool("e15-smoke", false, "run E15 at CI size (dozens of paths, shards {1,2})")
 	traceOut := flag.String("trace", "", "write E10's highest-load run as Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics", "", "write E10's highest-load metrics JSON (pathtop input) to this file")
 	flag.Parse()
@@ -169,6 +173,28 @@ func main() {
 		exp.PrintE14(w, res)
 		if !res.Ok() {
 			os.Exit(1)
+		}
+	})
+
+	run("e15", func() {
+		cfg := exp.E15Config{}
+		if *e15Smoke {
+			cfg = exp.SmokeE15Config()
+		}
+		start := time.Now()
+		cfg.Wall = func() time.Duration { return time.Since(start) }
+		res := exp.RunE15(cfg)
+		exp.PrintE15(w, res)
+		if !res.Match() {
+			os.Exit(1)
+		}
+		// The speedup target only means something on a multicore host; CI
+		// and laptops assert it, single-CPU containers report honestly.
+		if res.CPUs >= 4 {
+			if sp := res.SpeedupAt(4); sp > 0 && sp < 3.0 {
+				fmt.Fprintf(os.Stderr, "e15: speedup at 4 shards %.2fx, want >= 3x\n", sp)
+				os.Exit(1)
+			}
 		}
 	})
 

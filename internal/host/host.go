@@ -57,7 +57,26 @@ type Host struct {
 
 // New attaches a host with the given identity to link.
 func New(link *netdev.Link, mac netdev.MAC, addr inet.Addr) *Host {
-	h := &Host{
+	h := newHost(addr)
+	h.Dev = netdev.NewDevice(link, mac, nil)
+	h.eng = h.Dev.Engine()
+	h.Dev.OnReceive = h.receive
+	return h
+}
+
+// NewOn attaches a host to a specific side of a cross-shard link, identified
+// by the shard engine it must be confined to. For local links it behaves
+// like New (eng must be the link's engine).
+func NewOn(link *netdev.Link, mac netdev.MAC, addr inet.Addr, eng *sim.Engine) *Host {
+	h := newHost(addr)
+	h.Dev = netdev.NewDeviceOn(link, mac, nil, eng)
+	h.eng = eng
+	h.Dev.OnReceive = h.receive
+	return h
+}
+
+func newHost(addr inet.Addr) *Host {
+	return &Host{
 		Addr:        addr,
 		arpCache:    make(map[inet.Addr]netdev.MAC),
 		arpPending:  make(map[inet.Addr]*arpQuery),
@@ -66,10 +85,6 @@ func New(link *netdev.Link, mac netdev.MAC, addr inet.Addr) *Host {
 		ARPTimeout:  500 * time.Millisecond,
 		ARPRetries:  8,
 	}
-	h.Dev = netdev.NewDevice(link, mac, nil)
-	h.eng = h.Dev.Engine()
-	h.Dev.OnReceive = h.receive
-	return h
 }
 
 // Engine returns the simulation engine.

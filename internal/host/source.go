@@ -61,6 +61,37 @@ type SourceConfig struct {
 	// stream forces the choice E11 measures: shed load deliberately
 	// (frame-kind early discard) or tail-drop indiscriminately.
 	Live bool
+
+	// Prepared, when set, supplies the packet stream directly and skips
+	// preparation; Clip/CostOnly/PayloadBudget/Seed are ignored. The scale
+	// experiments share one PrepareClip result across 10^5 sources — the
+	// templates are immutable (sendPacket copies into a fresh payload), so
+	// sharing is safe even across cluster shards.
+	Prepared *Prepared
+}
+
+// Prepared is a clip's marshalled ALF packet stream, built once and shared
+// by any number of sources.
+type Prepared struct {
+	packets [][]byte
+	frameOf []int
+}
+
+// NumPackets reports the prepared stream's packet count.
+func (p *Prepared) NumPackets() int { return len(p.packets) }
+
+// PrepareClip builds the cost-model packet stream for clip exactly as a
+// CostOnly NewSource would.
+func PrepareClip(clip mpeg.ClipSpec, payloadBudget int, seed int64) *Prepared {
+	p := &Prepared{}
+	mbw, mbh := clip.W/16, clip.H/16
+	for fno, info := range clip.Trace(seed) {
+		for _, pk := range mpeg.TracePackets(uint32(fno), info, mbw, mbh, payloadBudget) {
+			p.packets = append(p.packets, pk.Marshal())
+			p.frameOf = append(p.frameOf, fno)
+		}
+	}
+	return p
 }
 
 // Source streams one clip to a Scout MPEG path, honouring MFLOW's window
@@ -151,7 +182,9 @@ func NewSource(h *Host, cfg SourceConfig) (*Source, error) {
 	}
 	s := &Source{h: h, cfg: cfg, win: cfg.InitialWindow}
 	clip := cfg.Clip
-	if cfg.CostOnly {
+	if cfg.Prepared != nil {
+		s.packets, s.frameOf = cfg.Prepared.packets, cfg.Prepared.frameOf
+	} else if cfg.CostOnly {
 		mbw, mbh := clip.W/16, clip.H/16
 		for fno, info := range clip.Trace(cfg.Seed) {
 			for _, p := range mpeg.TracePackets(uint32(fno), info, mbw, mbh, cfg.PayloadBudget) {

@@ -175,6 +175,9 @@ var dataPathArgFuncs = map[string]int{
 	"Interrupt":   1,
 	"NewThread":   2,
 	"NewNetIface": 0,
+	// Xport.Post continuations run on the destination shard's engine at a
+	// window barrier — data path on the far side of a cross-shard boundary.
+	"Post": 1,
 }
 
 // Graph returns the module's data-path call graph, building it on first use.

@@ -30,7 +30,8 @@ func TestCallGraphRoots(t *testing.T) {
 	wantRoots := map[string]string{
 		"fake.Inject": "delivery entry point (name)",
 		"fake.rx":     "assigned to data-path field OnReceive",
-		"fake.tick":   "arg to Interrupt",
+		"fake.tick":    "arg to Interrupt",
+		"fake.deliver": "arg to Post",
 	}
 	for name, why := range wantRoots {
 		n := g.NodeByName(name)
@@ -86,14 +87,14 @@ func TestCallGraphReachability(t *testing.T) {
 	g := graphFor(t)
 	reachable := []string{
 		"fake.Inject", "fake.step", "fake.sink", "fake.rx",
-		"fake.(*alpha).Handle", "fake.(*beta).Handle", "fake.tick",
+		"fake.(*alpha).Handle", "fake.(*beta).Handle", "fake.tick", "fake.deliver",
 	}
 	for _, name := range reachable {
 		if n := g.NodeByName(name); n == nil || !n.Reachable() {
 			t.Errorf("%s should be reachable from the roots", name)
 		}
 	}
-	unreachable := []string{"fake.wire", "fake.boot", "fake.isolated", "fake.call", "fake.Interrupt"}
+	unreachable := []string{"fake.wire", "fake.boot", "fake.isolated", "fake.call", "fake.Interrupt", "fake.ship"}
 	for _, name := range unreachable {
 		if n := g.NodeByName(name); n == nil || n.Reachable() {
 			t.Errorf("%s should NOT be reachable (wiring code is not the data path)", name)

@@ -50,3 +50,13 @@ func tick() {}
 
 // isolated is called by nothing and roots nothing.
 func isolated() {}
+
+// Post mimics the cluster xport: the continuation at arg index 1 fires on
+// the destination shard's engine at a window barrier — a data-path root.
+func Post(when int64, fn func()) { _, _ = when, fn }
+
+func ship() {
+	Post(5, deliver)
+}
+
+func deliver() { sink(2) }

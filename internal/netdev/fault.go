@@ -58,7 +58,10 @@ type faultState struct {
 
 // InjectFaults installs plan on the link, replacing any previous plan and
 // resetting fault statistics. Zero-probability fault kinds are free.
+// Cross-shard links take no fault plans (both sides would race on the
+// shared plan state); their base Loss still applies per direction.
 func (l *Link) InjectFaults(plan FaultPlan) {
+	l.mustBeLocal("InjectFaults")
 	if plan.BurstLen <= 0 {
 		plan.BurstLen = 4
 	}

@@ -70,6 +70,9 @@ type Link struct {
 
 	down      bool
 	downDrops int64
+
+	// cross is set for cluster cross-shard links; see crosslink.go.
+	cross *crossState
 }
 
 // NewLink creates a link on eng with the given configuration.
@@ -84,7 +87,17 @@ func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
 func (l *Link) ID() int { return l.cfg.ID }
 
 // Stats reports (frames sent, frames dropped by loss, frames delivered).
+// On a cross link it sums both halves, so call it only while the cluster is
+// quiescent (between runs, or after the simulation ends).
 func (l *Link) Stats() (sent, dropped, delivered int64) {
+	if l.cross != nil {
+		for _, h := range l.cross.halves {
+			sent += h.sent
+			dropped += h.dropped
+			delivered += h.delivered
+		}
+		return sent, dropped, delivered
+	}
 	return l.sent, l.dropped, l.delivered
 }
 
@@ -92,11 +105,25 @@ func (l *Link) Stats() (sent, dropped, delivered int64) {
 // is dropped at the transmitting NIC (no carrier, no airtime) and counted in
 // DownDrops. Frames already serialized onto the wire still arrive — death
 // cuts the carrier, it does not reach into flight.
-func (l *Link) SetDown() { l.down = true }
+func (l *Link) SetDown() {
+	l.mustBeLocal("SetDown")
+	l.down = true
+}
+
+// mustBeLocal rejects operations that mutate state both sides of a cross
+// link would race on mid-window.
+//
+//scout:assert carrier/fault control on a cross link is a topology bug, not runtime input
+func (l *Link) mustBeLocal(op string) {
+	if l.cross != nil {
+		panic("netdev: " + op + " on a cross-shard link (both sides would race on the shared state)")
+	}
+}
 
 // SetUp restores the carrier and resets every attached device's tx-loss
 // streak so the detector starts fresh.
 func (l *Link) SetUp() {
+	l.mustBeLocal("SetUp")
 	l.down = false
 	for _, d := range l.order {
 		d.txLossStreak = 0
@@ -120,6 +147,10 @@ func (l *Link) serialization(n int) time.Duration {
 // shared medium serializes frames: a transmission begins when the medium is
 // free.
 func (l *Link) transmit(src *Device, dst MAC, m *msg.Msg) {
+	if l.cross != nil {
+		l.crossTransmit(src, dst, m)
+		return
+	}
 	l.sent++
 	if l.down {
 		// No carrier: the frame dies at the NIC. The transmitting device's
@@ -295,6 +326,9 @@ type Device struct {
 
 	rx, tx, rxDropped int64
 	noPathDrops       int64
+
+	// side is the device's half of a cross link (always 0 on local links).
+	side int
 }
 
 // NoteNoPath counts a frame whose classification found no path; the driver
@@ -308,7 +342,11 @@ func (d *Device) NoPathDrops() int64 { return d.noPathDrops }
 // NewDevice attaches a NIC with the given address to the link. cpu may be
 // nil, in which case receive handlers run without charging interrupt cost
 // (used by traffic sources that are not part of the system under test).
+// On a cross link the device lands on side 0 (the link's home engine).
 func NewDevice(l *Link, addr MAC, cpu *sched.Sched) *Device {
+	if l.cross != nil {
+		return NewDeviceOn(l, addr, cpu, l.eng)
+	}
 	if _, dup := l.devs[addr]; dup {
 		panic(fmt.Sprintf("netdev: duplicate MAC %s on link", addr))
 	}

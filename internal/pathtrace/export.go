@@ -53,64 +53,9 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 		return err
 	}
 	tf := traceFile{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
-	for _, pi := range t.order {
-		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-			Name: "process_name", Ph: "M", PID: pi.PID,
-			Args: map[string]any{"name": pi.Label},
-		})
-		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-			Name: "thread_name", Ph: "M", PID: pi.PID, TID: 0,
-			Args: map[string]any{"name": "exec"},
-		})
-		for _, sm := range pi.Stages {
-			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-				Name: "thread_name", Ph: "M", PID: pi.PID, TID: sm.tid,
-				Args: map[string]any{"name": sm.Stage},
-			})
-		}
-		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-			Name: "thread_name", Ph: "M", PID: pi.PID, TID: 1 + len(pi.Stages),
-			Args: map[string]any{"name": "wire"},
-		})
-	}
+	appendMetaEvents(&tf, t, 0)
 	for _, ev := range t.events {
-		switch ev.Kind {
-		case KindSpan:
-			args := map[string]any{"self_ns": ev.Arg}
-			if ev.Msg != 0 {
-				args["msg"] = ev.Msg
-			}
-			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-				Name: ev.Name, Cat: "stage", Ph: "X",
-				TS: us(int64(ev.TS)), Dur: durPtr(ev.Dur),
-				PID: ev.PID, TID: ev.TID, Args: args,
-			})
-		case KindExec:
-			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-				Name: ev.Name, Cat: "exec", Ph: "X",
-				TS: us(int64(ev.TS)), Dur: durPtr(ev.Dur),
-				PID: ev.PID, TID: ev.TID,
-				Args: map[string]any{"charged_ns": ev.Arg, "stolen_ns": int64(ev.Dur) - ev.Arg},
-			})
-		case KindWire:
-			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-				Name: ev.Name, Cat: "wire", Ph: "X",
-				TS: us(int64(ev.TS)), Dur: durPtr(ev.Dur),
-				PID: ev.PID, TID: ev.TID,
-				Args: map[string]any{"msg": ev.Msg},
-			})
-		case KindEnqueue, KindDequeue:
-			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-				Name: ev.Name + " depth", Ph: "C",
-				TS: us(int64(ev.TS)), PID: ev.PID,
-				Args: map[string]any{"depth": ev.Arg},
-			})
-		case KindDrop:
-			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-				Name: ev.Name + " drop", Ph: "i", S: "p",
-				TS: us(int64(ev.TS)), PID: ev.PID,
-			})
-		}
+		appendTraceEvent(&tf, ev, 0)
 	}
 	b, err := json.Marshal(tf)
 	if err != nil {
@@ -118,6 +63,136 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 	}
 	_, err = w.Write(b)
 	return err
+}
+
+// appendMetaEvents emits the process/thread naming metadata for a tracer's
+// paths, offsetting every PID by pidOff (the merged export's namespace for
+// one shard's tracer; 0 for a single-tracer dump).
+func appendMetaEvents(tf *traceFile, t *Tracer, pidOff int64) {
+	for _, pi := range t.order {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", PID: pidOff + pi.PID,
+			Args: map[string]any{"name": pi.Label},
+		})
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: pidOff + pi.PID, TID: 0,
+			Args: map[string]any{"name": "exec"},
+		})
+		for _, sm := range pi.Stages {
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", PID: pidOff + pi.PID, TID: sm.tid,
+				Args: map[string]any{"name": sm.Stage},
+			})
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: pidOff + pi.PID, TID: 1 + len(pi.Stages),
+			Args: map[string]any{"name": "wire"},
+		})
+	}
+}
+
+// appendTraceEvent converts one recorded event to its trace_event form.
+func appendTraceEvent(tf *traceFile, ev Event, pidOff int64) {
+	switch ev.Kind {
+	case KindSpan:
+		args := map[string]any{"self_ns": ev.Arg}
+		if ev.Msg != 0 {
+			args["msg"] = ev.Msg
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: ev.Name, Cat: "stage", Ph: "X",
+			TS: us(int64(ev.TS)), Dur: durPtr(ev.Dur),
+			PID: pidOff + ev.PID, TID: ev.TID, Args: args,
+		})
+	case KindExec:
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: ev.Name, Cat: "exec", Ph: "X",
+			TS: us(int64(ev.TS)), Dur: durPtr(ev.Dur),
+			PID: pidOff + ev.PID, TID: ev.TID,
+			Args: map[string]any{"charged_ns": ev.Arg, "stolen_ns": int64(ev.Dur) - ev.Arg},
+		})
+	case KindWire:
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: ev.Name, Cat: "wire", Ph: "X",
+			TS: us(int64(ev.TS)), Dur: durPtr(ev.Dur),
+			PID: pidOff + ev.PID, TID: ev.TID,
+			Args: map[string]any{"msg": ev.Msg},
+		})
+	case KindEnqueue, KindDequeue:
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: ev.Name + " depth", Ph: "C",
+			TS: us(int64(ev.TS)), PID: pidOff + ev.PID,
+			Args: map[string]any{"depth": ev.Arg},
+		})
+	case KindDrop:
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: ev.Name + " drop", Ph: "i", S: "p",
+			TS: us(int64(ev.TS)), PID: pidOff + ev.PID,
+		})
+	}
+}
+
+// WriteMergedTrace merges several tracers (one per shard group in a sharded
+// world) into a single Chrome trace_event JSON document. Each core.Graph
+// numbers its paths from 1, so PIDs collide across shards; the merge
+// namespaces tracer i's PIDs by offsetting them with i<<32. Output is
+// deterministic and independent of shard layout as long as the caller passes
+// the tracers in a fixed order (e.g. group order, not shard order): metadata
+// is emitted per tracer in argument order, and events are globally sorted by
+// (timestamp, tracer index, record index) — within one tracer record order is
+// already time order, so the sort is a stable merge, not a reorder.
+func WriteMergedTrace(w io.Writer, tracers ...*Tracer) error {
+	tf := traceFile{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
+	type rec struct {
+		ev  Event
+		ti  int
+		off int64
+	}
+	var recs []rec
+	for i, t := range tracers {
+		if t == nil {
+			continue
+		}
+		off := int64(i) << 32
+		appendMetaEvents(&tf, t, off)
+		for _, ev := range t.events {
+			recs = append(recs, rec{ev: ev, ti: i, off: off})
+		}
+	}
+	sort.SliceStable(recs, func(a, b int) bool {
+		if recs[a].ev.TS != recs[b].ev.TS {
+			return recs[a].ev.TS < recs[b].ev.TS
+		}
+		return recs[a].ti < recs[b].ti
+	})
+	for _, r := range recs {
+		appendTraceEvent(&tf, r.ev, r.off)
+	}
+	b, err := json.Marshal(tf)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// MergedMetricsDoc concatenates the metrics of several tracers under the same
+// PID namespacing as WriteMergedTrace. EventsLost sums across tracers.
+func MergedMetricsDoc(tracers ...*Tracer) MetricsDoc {
+	doc := MetricsDoc{Paths: []PathMetrics{}}
+	for i, t := range tracers {
+		if t == nil {
+			continue
+		}
+		d := t.MetricsDoc()
+		for _, pm := range d.Paths {
+			pm.PID += int64(i) << 32
+			doc.Paths = append(doc.Paths, pm)
+		}
+		doc.Devices = append(doc.Devices, d.Devices...)
+		doc.EventsLost += d.EventsLost
+	}
+	return doc
 }
 
 // --- Flat metrics document --------------------------------------------------

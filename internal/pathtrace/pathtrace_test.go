@@ -2,6 +2,7 @@ package pathtrace_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -225,6 +226,70 @@ func runScenario(t *testing.T) (traceJSON, metricsJSON []byte) {
 		t.Fatal(err)
 	}
 	return tb.Bytes(), mb.Bytes()
+}
+
+// TestMergedTraceNamespacesAndSorts exercises the sharded-world export path:
+// two independent worlds (each with its own graph, so both paths get PID 1)
+// merge into one trace with namespaced PIDs and a globally time-sorted event
+// stream, byte-identically across runs.
+func TestMergedTraceNamespacesAndSorts(t *testing.T) {
+	build := func(label string, delay time.Duration) *pathtrace.Tracer {
+		p := buildChain(t)
+		eng, tr := newTracer(7)
+		tr.InstrumentPath(p, label)
+		eng.At(sim.Time(delay), func() {
+			if err := p.Inject(core.FWD, msg.New(make([]byte, 8))); err != nil {
+				t.Error(err)
+			}
+		})
+		eng.Run()
+		return tr
+	}
+	run := func() []byte {
+		// Tracer order is the caller-fixed merge order; groupB's events are
+		// earlier in virtual time, so the merge must actually sort.
+		a := build("groupA", 100*time.Microsecond)
+		b := build("groupB", 50*time.Microsecond)
+		var buf bytes.Buffer
+		if err := pathtrace.WriteMergedTrace(&buf, a, b); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	out1, out2 := run(), run()
+	if !bytes.Equal(out1, out2) {
+		t.Error("merged trace differs across identical runs")
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int64   `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out1, &tf); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int64]bool{}
+	lastTS := -1.0
+	for _, ev := range tf.TraceEvents {
+		pids[ev.PID] = true
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.TS < lastTS {
+			t.Fatalf("merged events not time-sorted: %v after %v", ev.TS, lastTS)
+		}
+		lastTS = ev.TS
+	}
+	if !pids[1] || !pids[1+int64(1)<<32] {
+		t.Fatalf("merged trace missing namespaced PIDs (got %v)", pids)
+	}
+	doc := pathtrace.MergedMetricsDoc(build("groupA", time.Microsecond), build("groupB", time.Microsecond))
+	if len(doc.Paths) != 2 || doc.Paths[0].PID != 1 || doc.Paths[1].PID != 1+int64(1)<<32 {
+		t.Fatalf("merged metrics PIDs wrong: %+v", doc.Paths)
+	}
 }
 
 func TestExportsAreDeterministic(t *testing.T) {

@@ -43,6 +43,7 @@ type Event struct {
 	when     Time
 	seq      uint64
 	fn       func()
+	eng      *Engine
 	index    int // heap index, -1 if not queued
 	canceled bool
 }
@@ -51,8 +52,20 @@ type Event struct {
 func (ev *Event) When() Time { return ev.when }
 
 // Cancel prevents the event from firing. Canceling an event that already
-// fired or was already canceled is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
+// fired or was already canceled is a no-op. Canceled events stay queued and
+// are discarded lazily; the engine compacts the heap when they outnumber the
+// runnable events, so mass cancellation (path teardown at scale) cannot pin
+// memory or inflate Pending.
+func (ev *Event) Cancel() {
+	if ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 && ev.eng != nil {
+		ev.eng.canceled++
+		ev.eng.maybeCompact()
+	}
+}
 
 type eventHeap []*Event
 
@@ -87,12 +100,20 @@ func (h *eventHeap) Pop() any {
 // New. Engines are not safe for concurrent use: the whole simulated kernel
 // is single-threaded, exactly like Scout's non-preemptive core.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	seed    int64
-	rng     *rand.Rand
-	stopped bool
+	now      Time
+	events   eventHeap
+	seq      uint64
+	seed     int64
+	rng      *rand.Rand
+	stopped  bool
+	canceled int    // queued events already canceled, awaiting lazy discard
+	ran      uint64 // events executed, for wall-clock rate accounting
+
+	// Set when the engine is one shard of a Cluster: the shard may then only
+	// be driven through the cluster's windowed run loop.
+	cluster *Cluster
+	shard   int
+	outbox  []xmsg // cross-shard messages posted this window, drained at barriers
 }
 
 // New returns an engine with its clock at 0 and a deterministic random
@@ -135,9 +156,21 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	ev := &Event{when: t, seq: e.seq, fn: fn, eng: e, index: -1}
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// rearm re-queues a fired (dequeued) event at time t with a fresh sequence
+// number, reusing the allocation. Internal: only the Ticker re-arms its
+// private event, so the entry cannot be live in the heap here.
+func (e *Engine) rearm(ev *Event, t Time) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev.when, ev.seq, ev.canceled = t, e.seq, false
+	heap.Push(&e.events, ev)
 }
 
 // After schedules fn to run d from now. Negative d behaves like d == 0.
@@ -145,21 +178,57 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 	return e.At(e.now.Add(d), fn)
 }
 
-// Pending reports the number of events queued (including canceled events
-// that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of runnable (not canceled) events queued.
+func (e *Engine) Pending() int { return len(e.events) - e.canceled }
+
+// EventsRun reports how many events the engine has executed since creation;
+// the scale experiments divide it by wall time for an events/sec rate.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// maybeCompact rebuilds the heap without its canceled entries once they
+// outnumber the runnable ones, so cancellation storms stay O(live) in space.
+func (e *Engine) maybeCompact() {
+	const minCompact = 16 // below this the lazy discard in Step is cheaper
+	if len(e.events) < minCompact || e.canceled*2 <= len(e.events) {
+		return
+	}
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if ev.canceled {
+			ev.index = -1
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = nil // release the dropped entries to the GC
+	}
+	e.events = kept
+	for i, ev := range e.events {
+		ev.index = i
+	}
+	heap.Init(&e.events)
+	e.canceled = 0
+}
 
 // Step runs the next event. It reports false when no runnable event remains.
 func (e *Engine) Step() bool {
+	e.mustBeUnclustered("Step")
+	return e.step()
+}
+
+func (e *Engine) step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.canceled {
+			e.canceled--
 			continue
 		}
 		if ev.when < e.now {
 			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", e.now, ev.when))
 		}
 		e.now = ev.when
+		e.ran++
 		ev.fn()
 		return true
 	}
@@ -168,23 +237,31 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the queue drains or Stop is called.
 func (e *Engine) Run() {
+	e.mustBeUnclustered("Run")
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	for !e.stopped && e.step() {
 	}
 }
 
 // RunUntil executes events with firing times <= t, then advances the clock
-// to t. Events scheduled beyond t remain queued.
+// to t. Events scheduled beyond t remain queued. If Stop fires mid-run the
+// clock stays where the last event left it, so unreached events (those with
+// firing times between the stop point and t) remain runnable on resume.
 func (e *Engine) RunUntil(t Time) {
+	e.mustBeUnclustered("RunUntil")
+	e.runUntil(t)
+}
+
+func (e *Engine) runUntil(t Time) {
 	e.stopped = false
 	for !e.stopped {
 		ev := e.peek()
 		if ev == nil || ev.when > t {
 			break
 		}
-		e.Step()
+		e.step()
 	}
-	if e.now < t {
+	if !e.stopped && e.now < t {
 		e.now = t
 	}
 }
@@ -192,8 +269,27 @@ func (e *Engine) RunUntil(t Time) {
 // RunFor is RunUntil(Now().Add(d)).
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
 
-// Stop makes the innermost Run/RunUntil return after the current event.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop makes the innermost Run/RunUntil return after the current event. On a
+// clustered shard it also stops the cluster's windowed loop: the other shards
+// finish the current window (their events are independent up to the barrier)
+// and Cluster.RunUntil returns.
+func (e *Engine) Stop() {
+	e.stopped = true
+	if e.cluster != nil {
+		e.cluster.stopped.Store(true)
+	}
+}
+
+// mustBeUnclustered rejects direct stepping of a cluster shard: running a
+// shard outside the cluster's conservative windows would let its clock pass a
+// barrier before cross-shard messages for that window were delivered.
+//
+//scout:assert driving a shard around its cluster is a harness bug, not runtime input
+func (e *Engine) mustBeUnclustered(op string) {
+	if e.cluster != nil {
+		panic("sim: " + op + " on a cluster shard; drive the Cluster instead")
+	}
+}
 
 func (e *Engine) peek() *Event {
 	for len(e.events) > 0 {
@@ -201,6 +297,7 @@ func (e *Engine) peek() *Event {
 			return ev
 		}
 		heap.Pop(&e.events)
+		e.canceled--
 	}
 	return nil
 }
@@ -221,20 +318,21 @@ func (e *Engine) Tick(period time.Duration, fn func()) *Ticker {
 		panic("sim: Tick with non-positive period")
 	}
 	t := &Ticker{e: e, period: period, fn: fn}
-	t.arm()
+	// One closure and one Event for the ticker's whole life: tick re-arms the
+	// same entry, so a display vsync at 10^5 paths costs no steady-state
+	// allocation.
+	t.ev = e.After(period, t.tick)
 	return t
 }
 
-func (t *Ticker) arm() {
-	t.ev = t.e.After(t.period, func() {
-		if t.stop {
-			return
-		}
-		t.fn()
-		if !t.stop {
-			t.arm()
-		}
-	})
+func (t *Ticker) tick() {
+	if t.stop {
+		return
+	}
+	t.fn()
+	if !t.stop {
+		t.e.rearm(t.ev, t.e.now.Add(t.period))
+	}
 }
 
 // Stop cancels the ticker.

@@ -253,6 +253,127 @@ func TestPropertyNestedScheduling(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesCanceled(t *testing.T) {
+	e := New(1)
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, e.After(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	if got := e.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	for i := 0; i < 4; i++ {
+		evs[i].Cancel()
+		evs[i].Cancel() // double cancel must not double-count
+	}
+	if got := e.Pending(); got != 6 {
+		t.Fatalf("Pending after 4 cancels = %d, want 6", got)
+	}
+	ran := 0
+	for e.Step() {
+		ran++
+	}
+	if ran != 6 {
+		t.Fatalf("ran %d events, want 6", ran)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+func TestCancelStormCompacts(t *testing.T) {
+	e := New(1)
+	const n = 1000
+	var evs []*Event
+	for i := 0; i < n; i++ {
+		evs = append(evs, e.After(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	for i := 0; i < n; i++ {
+		if i%4 != 0 {
+			evs[i].Cancel() // 750 canceled, 250 live
+		}
+	}
+	// The heap must have been compacted along the way: canceled entries can
+	// never exceed half the queue, so a cancellation storm stays O(live).
+	if dead := len(e.events) - e.Pending(); dead*2 > len(e.events) {
+		t.Fatalf("heap holds %d entries of which %d canceled; cancellation storm not compacted", len(e.events), dead)
+	}
+	if len(e.events) >= n {
+		t.Fatalf("heap still holds all %d entries after canceling %d", len(e.events), n-n/4)
+	}
+	if got := e.Pending(); got != n/4 {
+		t.Fatalf("Pending = %d, want %d", got, n/4)
+	}
+	e.Run()
+	if got := e.ran; got != n/4 {
+		t.Fatalf("ran %d events, want %d", got, n/4)
+	}
+	if e.Now() != Time(997*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 997ms (last surviving event)", e.Now())
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := New(1)
+	ev := e.After(time.Millisecond, func() {})
+	e.Run()
+	ev.Cancel()
+	if e.canceled != 0 {
+		t.Fatalf("canceled count = %d after canceling a fired event, want 0", e.canceled)
+	}
+}
+
+func TestTickerReusesEvent(t *testing.T) {
+	e := New(1)
+	n := 0
+	tk := e.Tick(time.Millisecond, func() { n++ })
+	first := tk.ev
+	e.RunUntil(Time(10 * time.Millisecond))
+	if n != 10 {
+		t.Fatalf("ticker fired %d times, want 10", n)
+	}
+	if tk.ev != first {
+		t.Fatal("ticker allocated a fresh event across re-arms")
+	}
+	// Steady state: each tick pops and re-pushes the same event — zero
+	// allocations per period.
+	e2 := New(1)
+	m := 0
+	e2.Tick(time.Millisecond, func() { m++ })
+	e2.Step() // first fire
+	if allocs := testing.AllocsPerRun(100, func() { e2.Step() }); allocs > 0 {
+		t.Fatalf("ticker re-arm allocates %.1f objects per period, want 0", allocs)
+	}
+}
+
+func TestRunUntilStopKeepsClock(t *testing.T) {
+	e := New(1)
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		i := i
+		e.After(time.Duration(i)*time.Second, func() {
+			fired = append(fired, i)
+			if i == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntil(Time(10 * time.Second))
+	if e.Now() != Time(3*time.Second) {
+		t.Fatalf("Now() = %v after mid-run Stop, want 3s (not the RunUntil target)", e.Now())
+	}
+	// Resume: the events between the stop point and the target must still be
+	// runnable (before the fix the clock jumped to the target and Step
+	// panicked with "time went backwards").
+	e.RunUntil(Time(10 * time.Second))
+	if len(fired) != 10 {
+		t.Fatalf("resume ran %d events, want 10 (%v)", len(fired), fired)
+	}
+	if e.Now() != Time(10*time.Second) {
+		t.Fatalf("Now() = %v after resume, want 10s", e.Now())
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	e := New(1)
 	b.ReportAllocs()
